@@ -1,0 +1,87 @@
+// Command panda-bench regenerates every evaluation artifact of the PANDA
+// paper: the utility, epidemic-analysis, contact-tracing, empirical-
+// privacy, random-policy-graph, theorem-validation, system-pipeline and
+// budget-utilisation experiments (E1–E8; see DESIGN.md §4 for the index
+// and EXPERIMENTS.md for paper-vs-measured records).
+//
+// Usage:
+//
+//	panda-bench               # run everything at paper scale
+//	panda-bench -exp E1,E4    # selected experiments
+//	panda-bench -quick        # miniature configuration (CI smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pglp/panda/internal/experiments"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment IDs (E1..E8) or 'all'")
+		quick   = flag.Bool("quick", false, "use the miniature configuration")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		users   = flag.Int("users", 0, "override the number of users (0 keeps the default)")
+		steps   = flag.Int("steps", 0, "override the trajectory length (0 keeps the default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+
+	runners := map[string]func(experiments.Config) (*experiments.Table, error){
+		"E1":  experiments.RunE1,
+		"E2":  experiments.RunE2,
+		"E3":  experiments.RunE3,
+		"E4":  experiments.RunE4,
+		"E5":  experiments.RunE5,
+		"E6":  experiments.RunE6,
+		"E7":  experiments.RunE7,
+		"E8":  experiments.RunE8,
+		"E9":  experiments.RunE9,
+		"E10": experiments.RunE10,
+		"E11": experiments.RunE11,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+
+	selected := order
+	if *expList != "all" {
+		selected = nil
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "panda-bench: unknown experiment %q (want E1..E11)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		table, err := runners[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "panda-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := table.Print(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "panda-bench: printing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

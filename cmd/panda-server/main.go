@@ -1,0 +1,70 @@
+// Command panda-server runs the PANDA surveillance server (the untrusted
+// party of the paper's Fig. 1): it hands out location privacy policies,
+// ingests perturbed location reports, serves the location-monitoring
+// density queries, accepts infected-place announcements (triggering
+// dynamic policy updates) and certifies health codes.
+//
+// Usage:
+//
+//	panda-server -addr :8080 -rows 16 -cols 16 -eps 1.0 -policy baseline
+//	panda-server -policy monitoring -block 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		rows   = flag.Int("rows", 16, "grid rows")
+		cols   = flag.Int("cols", 16, "grid columns")
+		cell   = flag.Float64("cell", 1.0, "cell size in plane units")
+		eps    = flag.Float64("eps", 1.0, "default per-release epsilon")
+		polFlg = flag.String("policy", "baseline", "default policy: baseline|monitoring|analysis")
+		block  = flag.Int("block", 4, "block side for monitoring/analysis policies")
+	)
+	flag.Parse()
+
+	grid, err := geo.NewGrid(*rows, *cols, *cell)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
+		os.Exit(2)
+	}
+	var g *policygraph.Graph
+	switch *polFlg {
+	case "baseline":
+		g = policy.Baseline(grid)
+	case "monitoring":
+		g = policy.ForMonitoring(grid, *block, *block)
+	case "analysis":
+		g = policy.ForAnalysis(grid, *block, *block)
+	default:
+		fmt.Fprintf(os.Stderr, "panda-server: unknown policy %q\n", *polFlg)
+		os.Exit(2)
+	}
+	mgr, err := policy.NewManager(grid, g, *eps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
+		os.Exit(2)
+	}
+	srv, err := server.NewServer(server.NewDB(grid), mgr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
+		os.Exit(2)
+	}
+	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, listening on %s",
+		*rows, *cols, *polFlg, g.NumEdges(), *eps, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("panda-server: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+// Custom policies and verification: build your own location policy graph
+// edge by edge — the paper's core pitch is that the policy, not the
+// mechanism, is the knob — then audit that every mechanism actually
+// delivers {ε,G}-location privacy on it (Definition 2.4, executable).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pglp/panda"
+)
+
+func main() {
+	opts := panda.Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 1}
+
+	// A bespoke policy for a commuter: home block (cells 0,1,8,9) and
+	// office block (54,55,62,63) are each internally indistinguishable;
+	// everything else (the commute) is disclosable. Anyone watching can
+	// tell home-area from office-area — but never the exact building.
+	edges := [][2]int{
+		{0, 1}, {0, 8}, {0, 9}, {1, 8}, {1, 9}, {8, 9}, // home clique
+		{54, 55}, {54, 62}, {54, 63}, {55, 62}, {55, 63}, {62, 63}, // office clique
+	}
+	pg, err := panda.CustomPolicy(opts, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom policy: %d indistinguishability constraints, %d disclosable cells\n\n",
+		pg.NumEdges(), len(pg.IsolatedCells()))
+
+	// Audit every mechanism family against the policy at several ε.
+	fmt.Printf("%-8s %6s %12s %10s\n", "mech", "eps", "max_ratio", "compliant")
+	for _, kind := range []panda.MechanismKind{panda.GEM, panda.GEME, panda.GLM, panda.PIM, panda.KNorm} {
+		for _, eps := range []float64{0.5, 1, 2} {
+			ok, ratio, err := panda.VerifyMechanism(opts, pg, eps, kind, 20, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %6.1f %12.4f %10v\n", kind, eps, ratio, ok)
+		}
+	}
+
+	// The same audit catches a policy the baseline cannot honour: one
+	// edge demanding indistinguishability across the whole map.
+	impossible, err := panda.CustomPolicy(opts, [][2]int{{0, 63}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, ratio, err := panda.VerifyMechanism(opts, impossible, 0.5, panda.GeoInd, 20, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeo-ind baseline vs corner-to-corner policy: compliant=%v (ratio %.1f)\n", ok, ratio)
+	fmt.Println("policy-aware mechanisms honour it; the policy-oblivious baseline cannot.")
+
+	// Use the policy for real releases and measure what it costs.
+	util, err := panda.MeasureUtility(opts, pg, 1, panda.GEME, 2000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	priv, err := panda.MeasurePrivacy(opts, pg, 1, panda.GEME, 1000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat ε=1 with GEME: mean release error %.3f cells, adversary error %.3f cells\n", util, priv)
+}

@@ -1,0 +1,76 @@
+// Epidemic analysis (paper §3.1, policy Gb): estimate the basic
+// reproduction number R0 of an outbreak from perturbed location data, and
+// sweep ε to see how the estimate converges to the ground truth — the
+// paper's "accuracy of transmission model estimation" evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/pglp/panda"
+)
+
+func main() {
+	const (
+		users           = 150
+		steps           = 48
+		transmissionP   = 0.4
+		infectiousSteps = 8
+	)
+	opts := panda.Options{Rows: 16, Cols: 16, CellSize: 1, Epsilon: 1}
+
+	world, err := panda.GenerateTraces(opts, users, steps, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: an outbreak seeded with three cases.
+	outbreak, err := world.SimulateOutbreak([]int{0, 1, 2}, transmissionP, 2, infectiousSteps, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r0True, err := world.EstimateR0(transmissionP, infectiousSteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outbreak: %d/%d infected, empirical R0 %.2f, contact-based R0 %.2f\n\n",
+		outbreak.TotalInfected, users, outbreak.EmpiricalR0, r0True)
+
+	// The health authority sees only perturbed data. Sweep ε under the
+	// fine-grained analysis policy Gb (4x4 blocks).
+	gb, err := panda.MonitoringPolicy(opts, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  eps   R0(perturbed)   |error|")
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4} {
+		perturbed, err := world.Perturb(gb, eps, panda.GEM, 77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r0, err := perturbed.EstimateR0(transmissionP, infectiousSteps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.1f %12.2f %12.2f\n", eps, r0, math.Abs(r0-r0True))
+	}
+	fmt.Println("\nco-location counting survives the Gb policy once ε is moderate,")
+	fmt.Println("so the transmission model can be fit without raw locations.")
+
+	// Fit the full SEIR model to the outbreak's incidence curve — the
+	// predictive model the paper's epidemic-analysis app builds.
+	sigma, gamma := 0.5, 1.0/float64(infectiousSteps)
+	init := panda.SEIRPoint{S: float64(users - 3), I: 3}
+	fitted, err := panda.FitSEIR(panda.IncidenceOf(outbreak), sigma, gamma, float64(users), init, 1, 0.001, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSEIR fit to the incidence curve: β=%.3f → R0=%.2f\n", fitted.Beta, fitted.R0())
+	proj, err := fitted.Simulate(init, steps, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected final size: %.0f recovered of %d\n", proj[len(proj)-1].R, users)
+}

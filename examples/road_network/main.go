@@ -1,0 +1,90 @@
+// Road networks (paper ref [17], Geo-Graph-Indistinguishability): when
+// locations live on streets, the right indistinguishability metric is
+// road distance, not Euclidean distance. A PGLP policy graph built from
+// road adjacency gives exactly that — and its releases never land inside
+// a building, unlike the planar-Laplace baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pglp/panda"
+)
+
+func main() {
+	opts := panda.Options{Rows: 17, Cols: 17, CellSize: 1, Epsilon: 1}
+
+	roads, err := panda.ManhattanRoads(opts, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ggiPolicy := roads.Policy()
+	fmt.Printf("street cells: %d of %d; road policy edges: %d\n\n",
+		len(roads.Roads()), opts.Rows*opts.Cols, ggiPolicy.NumEdges())
+
+	// A courier drives around; release every position under the road
+	// policy (GGI) and under the policy-oblivious Geo-I baseline.
+	route, err := roads.RandomWalk(300, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.PolicyGraph = ggiPolicy
+	sys, err := panda.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	courier, err := sys.NewUser(1, panda.GEM, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := sys.NewUser(2, panda.GeoInd, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ggiRoadErr, geoRoadErr float64
+	ggiOff, geoOff := 0, 0
+	for t, cell := range route {
+		rel, err := courier.Report(t, cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !roads.IsRoad(rel.Cell) {
+			ggiOff++
+		}
+		ggiRoadErr += float64(roads.RoadDistance(cell, roads.NearestRoad(rel.Cell)))
+
+		rel2, err := baseline.Report(t, cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !roads.IsRoad(rel2.Cell) {
+			geoOff++
+		}
+		geoRoadErr += float64(roads.RoadDistance(cell, roads.NearestRoad(rel2.Cell)))
+	}
+	n := float64(len(route))
+
+	// Empirical privacy of both mechanisms at this ε, against an
+	// adversary who knows users are on the streets (road-supported prior).
+	prior := make([]float64, opts.Rows*opts.Cols)
+	for _, r := range roads.Roads() {
+		prior[r] = 1
+	}
+	ggiPriv, err := panda.MeasurePrivacyWithPrior(opts, ggiPolicy, opts.Epsilon, panda.GEM, prior, 1000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geoPriv, err := panda.MeasurePrivacyWithPrior(opts, ggiPolicy, opts.Epsilon, panda.GeoInd, prior, 1000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %16s %9s %9s\n", "mechanism", "road-error(hops)", "off-road", "adv-err")
+	fmt.Printf("%-22s %16.2f %8.0f%% %9.2f\n", "GGI (road policy)", ggiRoadErr/n, 100*float64(ggiOff)/n, ggiPriv)
+	fmt.Printf("%-22s %16.2f %8.0f%% %9.2f\n", "Geo-I baseline", geoRoadErr/n, 100*float64(geoOff)/n, geoPriv)
+	fmt.Println("\nthe road policy keeps every release on the network (0% off-road) and,")
+	fmt.Println("at the same ε, leaves the inference adversary with more error — at")
+	fmt.Println("matched privacy, GGI dominates the road-distance utility frontier.")
+}

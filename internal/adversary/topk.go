@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/pglp/panda/internal/mechanism"
+)
+
+// TopK returns the k cells with the highest posterior mass, descending
+// (ties broken by lower cell ID).
+func TopK(dist []float64, k int) []int {
+	idx := make([]int, len(dist))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if dist[idx[a]] != dist[idx[b]] {
+			return dist[idx[a]] > dist[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// TopKAccuracy measures the adversary's k-list hit rate: the fraction of
+// Monte-Carlo rounds in which the true cell appears among the k highest-
+// posterior cells. It quantifies how small a candidate list the adversary
+// can shortlist — the practical "plausible deniability set" the paper's
+// policy graphs are meant to keep large.
+func (a *Bayesian) TopKAccuracy(m mechanism.Mechanism, k, rounds int, rng *rand.Rand) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("adversary: k must be ≥ 1, got %d", k)
+	}
+	if rounds <= 0 {
+		return 0, fmt.Errorf("adversary: rounds must be positive, got %d", rounds)
+	}
+	cum := make([]float64, len(a.prior))
+	var acc float64
+	for i, v := range a.prior {
+		acc += v
+		cum[i] = acc
+	}
+	hits := 0
+	for r := 0; r < rounds; r++ {
+		s := sampleCum(rng, cum)
+		z, err := m.Release(rng, s)
+		if err != nil {
+			return 0, err
+		}
+		post, err := a.Posterior(m, z)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range TopK(post, k) {
+			if c == s {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(rounds), nil
+}

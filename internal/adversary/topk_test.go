@@ -1,0 +1,71 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+func TestTopK(t *testing.T) {
+	dist := []float64{0.1, 0.4, 0.2, 0.3}
+	if got := TopK(dist, 2); got[0] != 1 || got[1] != 3 {
+		t.Errorf("TopK(2) = %v, want [1 3]", got)
+	}
+	if got := TopK(dist, 99); len(got) != 4 {
+		t.Errorf("TopK clamps to n, got %v", got)
+	}
+	// Ties resolve by lower ID.
+	if got := TopK([]float64{0.5, 0.5}, 1); got[0] != 0 {
+		t.Errorf("tie-break wrong: %v", got)
+	}
+}
+
+func TestTopKAccuracyMonotoneInK(t *testing.T) {
+	grid := geo.MustGrid(5, 5, 1)
+	g := policygraph.GridEightNeighbor(grid)
+	m, err := mechanism.NewGraphExponential(grid, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewBayesian(grid, nil)
+	acc1, err := a.TopKAccuracy(m, 1, 600, dp.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc5, err := a.TopKAccuracy(m, 5, 600, dp.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc25, err := a.TopKAccuracy(m, 25, 600, dp.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(acc1 <= acc5 && acc5 <= acc25) {
+		t.Errorf("accuracy not monotone in k: %v, %v, %v", acc1, acc5, acc25)
+	}
+	if acc25 != 1 {
+		t.Errorf("k = all cells must always hit, got %v", acc25)
+	}
+}
+
+func TestTopKAccuracyNullMechanism(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	m, _ := mechanism.NewNull(grid)
+	a, _ := NewBayesian(grid, nil)
+	acc, err := a.TopKAccuracy(m, 1, 100, dp.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("null mechanism top-1 = %v, want 1", acc)
+	}
+	if _, err := a.TopKAccuracy(m, 0, 100, dp.NewRand(1)); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := a.TopKAccuracy(m, 1, 0, dp.NewRand(1)); err == nil {
+		t.Error("zero rounds should error")
+	}
+}

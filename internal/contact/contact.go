@@ -1,0 +1,316 @@
+// Package contact implements PANDA's contact-tracing application (§3.2):
+// ground-truth co-location detection, the dynamic-policy tracing protocol
+// in which diagnosed patients' visited places become disclosable (policy
+// Gc) and at-risk users re-send their recent locations, and a static-policy
+// baseline that works only from already-perturbed data.
+//
+// The decision rule follows the paper's simple CDC-style example: "two
+// persons have been [in] the same location at the same time at least
+// twice".
+package contact
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pglp/panda/internal/core"
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/metrics"
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/trace"
+)
+
+// CoLocations returns the timesteps at which two cell sequences coincide.
+func CoLocations(a, b []int) []int {
+	n := min(len(a), len(b))
+	var out []int
+	for t := 0; t < n; t++ {
+		if a[t] == b[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ContactsOf returns the ground-truth contacts of a patient: users with at
+// least minCo co-locations within the last `window` steps (window ≤ 0
+// means the whole horizon).
+func ContactsOf(ds *trace.Dataset, patient int, minCo, window int) ([]int, error) {
+	pt := ds.ByUser(patient)
+	if pt == nil {
+		return nil, fmt.Errorf("contact: unknown patient %d", patient)
+	}
+	lo := 0
+	if window > 0 && window < ds.Steps {
+		lo = ds.Steps - window
+	}
+	var out []int
+	for _, tr := range ds.Trajs {
+		if tr.User == patient {
+			continue
+		}
+		if countCoLocations(pt.Cells[lo:], tr.Cells[lo:]) >= minCo {
+			out = append(out, tr.User)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func countCoLocations(a, b []int) int {
+	n := min(len(a), len(b))
+	c := 0
+	for t := 0; t < n; t++ {
+		if a[t] == b[t] {
+			c++
+		}
+	}
+	return c
+}
+
+// Config parameterises the tracing protocol.
+type Config struct {
+	Epsilon        float64        // per-release privacy level
+	Kind           mechanism.Kind // PGLP mechanism family
+	MinCoLocations int            // decision rule threshold (paper: 2)
+	Window         int            // steps of history re-sent ("past two weeks"); ≤0 = all
+	Seed           uint64
+}
+
+// Validate checks the protocol configuration.
+func (c Config) Validate() error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("contact: epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.MinCoLocations < 1 {
+		return fmt.Errorf("contact: MinCoLocations must be ≥ 1, got %d", c.MinCoLocations)
+	}
+	if c.Kind == "" {
+		return fmt.Errorf("contact: mechanism kind required")
+	}
+	return nil
+}
+
+// Result reports a tracing run.
+type Result struct {
+	// Flagged are the users the protocol identified as at risk.
+	Flagged []int
+	// Truth are the ground-truth contacts under the same rule and window.
+	Truth []int
+	// Classification compares Flagged against Truth.
+	Classification metrics.Classification
+	// InfectedCells are the disclosable cells derived from patient traces.
+	InfectedCells []int
+	// Releases counts location releases performed during the protocol.
+	Releases int
+}
+
+// Precision, Recall and F1 are convenience accessors.
+func (r *Result) Precision() float64 { return r.Classification.Precision() }
+func (r *Result) Recall() float64    { return r.Classification.Recall() }
+func (r *Result) F1() float64        { return r.Classification.F1() }
+
+// Trace runs the dynamic-policy protocol of the paper for a set of
+// diagnosed patients:
+//
+//  1. Patients consent to disclosing their true window of history; the
+//     cells they visited become the infected set.
+//  2. The policy module switches every other user to Gc =
+//     IsolateNodes(base, infected): infected places disclosable, everything
+//     else keeps indistinguishability.
+//  3. Users re-send their window under the new policy. Visits to infected
+//     cells surface as exact disclosures (released point = cell center);
+//     all other visits stay perturbed inside the healthy sub-policy.
+//  4. The server counts, per patient, exact matches at the patient's
+//     (cell, time) pairs, and flags users reaching MinCoLocations with any
+//     patient.
+func Trace(ds *trace.Dataset, base *policygraph.Graph, patients []int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(patients) == 0 {
+		return nil, fmt.Errorf("contact: no diagnosed patients")
+	}
+	isPatient := make(map[int]bool, len(patients))
+	patientTrajs := make(map[int][]int, len(patients))
+	for _, p := range patients {
+		tr := ds.ByUser(p)
+		if tr == nil {
+			return nil, fmt.Errorf("contact: unknown patient %d", p)
+		}
+		isPatient[p] = true
+		patientTrajs[p] = tr.Cells
+	}
+	lo := 0
+	if cfg.Window > 0 && cfg.Window < ds.Steps {
+		lo = ds.Steps - cfg.Window
+	}
+
+	// Step 1-2: infected cells and the updated policy graph Gc.
+	infectedSet := make(map[int]bool)
+	for _, cells := range patientTrajs {
+		for _, c := range cells[lo:] {
+			infectedSet[c] = true
+		}
+	}
+	infected := make([]int, 0, len(infectedSet))
+	for c := range infectedSet {
+		infected = append(infected, c)
+	}
+	sort.Ints(infected)
+	gc := policygraph.IsolateNodes(base, infected)
+	pol, err := core.NewPolicy(cfg.Epsilon, gc)
+	if err != nil {
+		return nil, err
+	}
+	releaser, err := core.NewReleaser(ds.Grid, pol, cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3-4: re-send and match.
+	res := &Result{InfectedCells: infected}
+	for ui, tr := range ds.Trajs {
+		if isPatient[tr.User] {
+			continue
+		}
+		rng := dp.Derive(cfg.Seed, uint64(ui)+1)
+		pts, _, err := releaser.ReleaseTrajectory(rng, tr.Cells[lo:])
+		if err != nil {
+			return nil, err
+		}
+		res.Releases += len(pts)
+		best := 0
+		for _, pcells := range patientTrajs {
+			hits := 0
+			for i, z := range pts {
+				t := lo + i
+				pc := pcells[t]
+				if !infectedSet[pc] {
+					continue
+				}
+				if geo.AlmostEqual(z, ds.Grid.Center(pc), 1e-9) {
+					hits++
+				}
+			}
+			if hits > best {
+				best = hits
+			}
+		}
+		if best >= cfg.MinCoLocations {
+			res.Flagged = append(res.Flagged, tr.User)
+		}
+	}
+	sort.Ints(res.Flagged)
+
+	// Ground truth under the same rule.
+	truthSet := make(map[int]bool)
+	for _, p := range patients {
+		truth, err := ContactsOf(ds, p, cfg.MinCoLocations, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range truth {
+			if !isPatient[u] {
+				truthSet[u] = true
+			}
+		}
+	}
+	for u := range truthSet {
+		res.Truth = append(res.Truth, u)
+	}
+	sort.Ints(res.Truth)
+	res.Classification = metrics.Classify(res.Flagged, res.Truth)
+	return res, nil
+}
+
+// StaticBaseline runs contact detection WITHOUT dynamic policy updates:
+// the server only has the perturbed releases every user already sent under
+// the static base policy, plus the diagnosed patients' disclosed true
+// traces. It counts co-locations between patient truth and others'
+// snapped releases. This is the paper's foil: without policy updates the
+// rule fires on noise.
+func StaticBaseline(ds *trace.Dataset, base *policygraph.Graph, patients []int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(patients) == 0 {
+		return nil, fmt.Errorf("contact: no diagnosed patients")
+	}
+	isPatient := make(map[int]bool, len(patients))
+	patientTrajs := make(map[int][]int, len(patients))
+	for _, p := range patients {
+		tr := ds.ByUser(p)
+		if tr == nil {
+			return nil, fmt.Errorf("contact: unknown patient %d", p)
+		}
+		isPatient[p] = true
+		patientTrajs[p] = tr.Cells
+	}
+	lo := 0
+	if cfg.Window > 0 && cfg.Window < ds.Steps {
+		lo = ds.Steps - cfg.Window
+	}
+	pol, err := core.NewPolicy(cfg.Epsilon, base)
+	if err != nil {
+		return nil, err
+	}
+	releaser, err := core.NewReleaser(ds.Grid, pol, cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for ui, tr := range ds.Trajs {
+		if isPatient[tr.User] {
+			continue
+		}
+		rng := dp.Derive(cfg.Seed, uint64(ui)+1)
+		_, snapped, err := releaser.ReleaseTrajectory(rng, tr.Cells[lo:])
+		if err != nil {
+			return nil, err
+		}
+		res.Releases += len(snapped)
+		best := 0
+		for _, pcells := range patientTrajs {
+			hits := 0
+			for i, c := range snapped {
+				if pcells[lo+i] == c {
+					hits++
+				}
+			}
+			if hits > best {
+				best = hits
+			}
+		}
+		if best >= cfg.MinCoLocations {
+			res.Flagged = append(res.Flagged, tr.User)
+		}
+	}
+	sort.Ints(res.Flagged)
+	truthSet := make(map[int]bool)
+	for _, p := range patients {
+		truth, err := ContactsOf(ds, p, cfg.MinCoLocations, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range truth {
+			if !isPatient[u] {
+				truthSet[u] = true
+			}
+		}
+	}
+	for u := range truthSet {
+		res.Truth = append(res.Truth, u)
+	}
+	sort.Ints(res.Truth)
+	res.Classification = metrics.Classify(res.Flagged, res.Truth)
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package contact
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/epidemic"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/trace"
+)
+
+func iterativeScenario(t *testing.T) (*trace.Dataset, *epidemic.Outbreak) {
+	t.Helper()
+	grid := geo.MustGrid(8, 8, 1)
+	ds, err := trace.GenerateGeoLife(grid, trace.GeoLifeConfig{
+		Users: 50, Steps: 30, Seed: 77, Speed: 1, PauseProb: 0.5, HomeBias: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := epidemic.SimulateOutbreak(ds, epidemic.OutbreakConfig{
+		Seeds: []int{0, 1}, TransmissionProb: 0.5, ExposedSteps: 1, InfectiousSteps: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ob
+}
+
+func infectedUsers(ds *trace.Dataset, ob *epidemic.Outbreak) []int {
+	var out []int
+	for u, at := range ob.InfectedAt {
+		if at >= 0 {
+			out = append(out, ds.Trajs[u].User)
+		}
+	}
+	return out
+}
+
+func TestTraceIterativeExpandsCoverage(t *testing.T) {
+	ds, ob := iterativeScenario(t)
+	infected := infectedUsers(ds, ob)
+	if len(infected) < 3 {
+		t.Skip("outbreak too small for the scenario")
+	}
+	base := policygraph.GridEightNeighbor(ds.Grid)
+	cfg := Config{Epsilon: 1, Kind: mechanism.KindGEM, MinCoLocations: 2, Seed: 9}
+	single, err := Trace(ds, base, []int{0, 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := TraceIterative(ds, base, []int{0, 1}, infected, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.Rounds < 1 {
+		t.Fatal("no rounds executed")
+	}
+	if len(iter.PatientsPerRound) != iter.Rounds {
+		t.Errorf("patients-per-round length %d != rounds %d", len(iter.PatientsPerRound), iter.Rounds)
+	}
+	// Iterative tracing flags at least as many users as one round.
+	if len(iter.Flagged) < len(single.Flagged) {
+		t.Errorf("iterative flagged %d < single-round %d", len(iter.Flagged), len(single.Flagged))
+	}
+	// Confirmed patients are all genuinely infected.
+	inf := map[int]bool{}
+	for _, u := range infected {
+		inf[u] = true
+	}
+	for _, u := range iter.ConfirmedInfected {
+		if !inf[u] {
+			t.Errorf("confirmed user %d is not infected", u)
+		}
+	}
+	// Patient counts are non-decreasing across rounds.
+	for i := 1; i < len(iter.PatientsPerRound); i++ {
+		if iter.PatientsPerRound[i] < iter.PatientsPerRound[i-1] {
+			t.Error("patient set shrank between rounds")
+		}
+	}
+	if iter.Releases <= 0 {
+		t.Error("no releases recorded")
+	}
+}
+
+func TestTraceIterativeStopsWithoutNewPatients(t *testing.T) {
+	ds, _ := iterativeScenario(t)
+	base := policygraph.GridEightNeighbor(ds.Grid)
+	cfg := Config{Epsilon: 1, Kind: mechanism.KindGEM, MinCoLocations: 2, Seed: 9}
+	// Nobody is infected: the campaign must stop after one round.
+	iter, err := TraceIterative(ds, base, []int{0}, nil, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (no positives, no expansion)", iter.Rounds)
+	}
+	if len(iter.ConfirmedInfected) != 0 {
+		t.Errorf("confirmed = %v, want none", iter.ConfirmedInfected)
+	}
+}
+
+func TestTraceIterativeValidation(t *testing.T) {
+	ds, _ := iterativeScenario(t)
+	base := policygraph.GridEightNeighbor(ds.Grid)
+	cfg := Config{Epsilon: 1, Kind: mechanism.KindGEM, MinCoLocations: 2}
+	if _, err := TraceIterative(ds, base, []int{0}, nil, cfg, 0); err == nil {
+		t.Error("zero rounds should error")
+	}
+	if _, err := TraceIterative(ds, base, nil, nil, cfg, 3); err == nil {
+		t.Error("no patients should error")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+)
+
+// Releaser is the client-side PGLP pipeline of Fig. 3: it binds a grid, a
+// policy and a mechanism family, optionally enforces a privacy budget, and
+// turns true cells into released locations.
+type Releaser struct {
+	grid   *geo.Grid
+	policy Policy
+	kind   mechanism.Kind
+	mech   mechanism.Mechanism
+	budget *dp.Accountant // optional
+}
+
+// NewReleaser builds a releaser. The mechanism is constructed eagerly so
+// policy/graph mismatches surface here.
+func NewReleaser(grid *geo.Grid, policy Policy, kind mechanism.Kind) (*Releaser, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := mechanism.New(kind, grid, policy.Graph, policy.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Releaser{grid: grid, policy: policy, kind: kind, mech: m}, nil
+}
+
+// WithBudget attaches a sequential-composition budget: each Release spends
+// ε. Returns the receiver for chaining.
+func (r *Releaser) WithBudget(total float64) *Releaser {
+	r.budget = dp.NewAccountant(total)
+	return r
+}
+
+// Grid returns the underlying grid.
+func (r *Releaser) Grid() *geo.Grid { return r.grid }
+
+// Policy returns the bound policy.
+func (r *Releaser) Policy() Policy { return r.policy }
+
+// Kind returns the mechanism family.
+func (r *Releaser) Kind() mechanism.Kind { return r.kind }
+
+// Mechanism exposes the underlying mechanism (for adversaries/verifiers).
+func (r *Releaser) Mechanism() mechanism.Mechanism { return r.mech }
+
+// BudgetSpent reports the ε consumed so far (0 when unbudgeted).
+func (r *Releaser) BudgetSpent() float64 {
+	if r.budget == nil {
+		return 0
+	}
+	return r.budget.Spent()
+}
+
+// Release perturbs the true cell s under the policy, spending budget if
+// one is attached.
+func (r *Releaser) Release(rng *rand.Rand, s int) (geo.Point, error) {
+	if r.budget != nil {
+		if err := r.budget.Spend(r.policy.Epsilon); err != nil {
+			return geo.Point{}, fmt.Errorf("core: release denied: %w", err)
+		}
+	}
+	return r.mech.Release(rng, s)
+}
+
+// ReleaseCell perturbs s and also snaps the released point to a grid cell,
+// the discretisation the server-side apps consume.
+func (r *Releaser) ReleaseCell(rng *rand.Rand, s int) (geo.Point, int, error) {
+	p, err := r.Release(rng, s)
+	if err != nil {
+		return geo.Point{}, 0, err
+	}
+	return p, r.grid.Snap(p), nil
+}
+
+// ReleaseTrajectory releases a whole trajectory of true cells under the
+// current policy, one release per timestep (sequential composition).
+func (r *Releaser) ReleaseTrajectory(rng *rand.Rand, cells []int) ([]geo.Point, []int, error) {
+	pts := make([]geo.Point, len(cells))
+	snapped := make([]int, len(cells))
+	for i, s := range cells {
+		p, c, err := r.ReleaseCell(rng, s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: trajectory step %d: %w", i, err)
+		}
+		pts[i] = p
+		snapped[i] = c
+	}
+	return pts, snapped, nil
+}

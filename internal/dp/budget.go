@@ -1,0 +1,141 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned when a spend would exceed the privacy
+// budget.
+var ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+
+// Accountant tracks a total ε budget under sequential composition: every
+// release of a location under {ε,G}-location privacy consumes ε. It is safe
+// for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// NewAccountant returns an accountant with the given total budget.
+// A non-positive total means "unlimited".
+func NewAccountant(total float64) *Accountant {
+	return &Accountant{total: total}
+}
+
+// Spend consumes eps from the budget, or returns ErrBudgetExhausted
+// (without consuming anything) if it would overdraw.
+func (a *Accountant) Spend(eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("dp: negative spend %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total > 0 && a.spent+eps > a.total+1e-12 {
+		return fmt.Errorf("%w: spent %.4g of %.4g, requested %.4g",
+			ErrBudgetExhausted, a.spent, a.total, eps)
+	}
+	a.spent += eps
+	return nil
+}
+
+// Spent returns the ε consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the ε left, or +Inf semantics via a large value when
+// unlimited (total ≤ 0 reports remaining = -1).
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total <= 0 {
+		return -1
+	}
+	r := a.total - a.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Reset clears the consumed budget (e.g. when a new epoch starts).
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	a.spent = 0
+	a.mu.Unlock()
+}
+
+// WindowAccountant enforces a per-window ε budget over a sliding window of
+// timesteps — the natural accounting for PANDA, where users share their
+// locations "of the past two weeks". Releases older than the window no
+// longer count against the budget.
+type WindowAccountant struct {
+	mu     sync.Mutex
+	window int
+	limit  float64
+	spends map[int]float64 // timestep -> ε spent at that step
+}
+
+// NewWindowAccountant returns an accountant limiting total spend within any
+// window of `window` consecutive timesteps to `limit`.
+func NewWindowAccountant(window int, limit float64) (*WindowAccountant, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dp: window must be positive, got %d", window)
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("dp: window limit must be positive, got %v", limit)
+	}
+	return &WindowAccountant{window: window, limit: limit, spends: make(map[int]float64)}, nil
+}
+
+// Spend records a spend of eps at timestep t, unless the window ending at t
+// would exceed the limit.
+func (w *WindowAccountant) Spend(t int, eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("dp: negative spend %v", eps)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	inWindow := w.spentInWindowLocked(t)
+	if inWindow+eps > w.limit+1e-12 {
+		return fmt.Errorf("%w: window spend %.4g of %.4g at t=%d, requested %.4g",
+			ErrBudgetExhausted, inWindow, w.limit, t, eps)
+	}
+	w.spends[t] += eps
+	return nil
+}
+
+// SpentInWindow returns the ε spent in the window of timesteps
+// (t-window, t].
+func (w *WindowAccountant) SpentInWindow(t int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spentInWindowLocked(t)
+}
+
+func (w *WindowAccountant) spentInWindowLocked(t int) float64 {
+	var s float64
+	for ts, e := range w.spends {
+		if ts > t-w.window && ts <= t {
+			s += e
+		}
+	}
+	return s
+}
+
+// GC drops spend records older than the window relative to t, bounding
+// memory for long-running users.
+func (w *WindowAccountant) GC(t int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for ts := range w.spends {
+		if ts <= t-w.window {
+			delete(w.spends, ts)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SequentialComposition returns the total ε consumed by k releases at
+// per-release ε under basic sequential composition: k·ε.
+func SequentialComposition(eps float64, k int) float64 {
+	if k <= 0 || eps <= 0 {
+		return 0
+	}
+	return float64(k) * eps
+}
+
+// AdvancedComposition returns the total privacy cost (ε', δ') of k
+// adaptive ε-releases under the strong composition theorem (Dwork,
+// Rothblum, Vadhan 2010): for any slack δ > 0,
+//
+//	ε' = ε·√(2k·ln(1/δ)) + k·ε·(e^ε − 1)
+//
+// For small per-release ε and many releases this is far below k·ε — the
+// bound a two-week surveillance window should be budgeted against.
+func AdvancedComposition(eps float64, k int, delta float64) (float64, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("dp: epsilon must be positive and finite, got %v", eps)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("dp: k must be positive, got %d", k)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("dp: delta must be in (0,1), got %v", delta)
+	}
+	return eps*math.Sqrt(2*float64(k)*math.Log(1/delta)) +
+		float64(k)*eps*(math.Exp(eps)-1), nil
+}
+
+// ReleasesWithinBudget returns the largest k such that k adaptive
+// ε-releases stay within total budget under advanced composition with
+// slack δ. Returns 0 when even one release exceeds the budget.
+func ReleasesWithinBudget(eps, total, delta float64) (int, error) {
+	if total <= 0 {
+		return 0, fmt.Errorf("dp: total budget must be positive, got %v", total)
+	}
+	// AdvancedComposition is monotone in k; binary search.
+	lo, hi := 0, 1
+	for {
+		cost, err := AdvancedComposition(eps, hi, delta)
+		if err != nil {
+			return 0, err
+		}
+		if cost > total || hi > 1<<30 {
+			break
+		}
+		hi *= 2
+	}
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		cost, err := AdvancedComposition(eps, mid, delta)
+		if err != nil {
+			return 0, err
+		}
+		if cost <= total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,85 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSequentialComposition(t *testing.T) {
+	if got := SequentialComposition(0.5, 4); got != 2 {
+		t.Errorf("seq = %v", got)
+	}
+	if SequentialComposition(0.5, 0) != 0 || SequentialComposition(-1, 5) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestAdvancedCompositionBeatsSequentialForSmallEps(t *testing.T) {
+	eps, k, delta := 0.05, 300, 1e-6
+	adv, err := AdvancedComposition(eps, k, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := SequentialComposition(eps, k)
+	if adv >= seq {
+		t.Errorf("advanced %v should beat sequential %v at small ε", adv, seq)
+	}
+}
+
+func TestAdvancedCompositionFormula(t *testing.T) {
+	eps, k, delta := 0.1, 10, 0.01
+	got, err := AdvancedComposition(eps, k, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eps*math.Sqrt(2*10*math.Log(100)) + 10*eps*(math.Exp(eps)-1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("advanced = %v, want %v", got, want)
+	}
+}
+
+func TestAdvancedCompositionValidation(t *testing.T) {
+	if _, err := AdvancedComposition(0, 5, 0.01); err == nil {
+		t.Error("zero eps should error")
+	}
+	if _, err := AdvancedComposition(1, 0, 0.01); err == nil {
+		t.Error("zero k should error")
+	}
+	if _, err := AdvancedComposition(1, 5, 0); err == nil {
+		t.Error("zero delta should error")
+	}
+	if _, err := AdvancedComposition(1, 5, 1); err == nil {
+		t.Error("delta=1 should error")
+	}
+}
+
+func TestReleasesWithinBudget(t *testing.T) {
+	eps, total, delta := 0.1, 3.0, 1e-5
+	k, err := ReleasesWithinBudget(eps, total, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 {
+		t.Fatalf("k = %d", k)
+	}
+	// k releases fit; k+1 do not.
+	cost, _ := AdvancedComposition(eps, k, delta)
+	if cost > total {
+		t.Errorf("k=%d costs %v > %v", k, cost, total)
+	}
+	costNext, _ := AdvancedComposition(eps, k+1, delta)
+	if costNext <= total {
+		t.Errorf("k+1=%d costs %v ≤ %v (not maximal)", k+1, costNext, total)
+	}
+	// A budget too small for even one release.
+	k0, err := ReleasesWithinBudget(5, 0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != 0 {
+		t.Errorf("k0 = %d, want 0", k0)
+	}
+	if _, err := ReleasesWithinBudget(1, 0, 0.01); err == nil {
+		t.Error("zero budget should error")
+	}
+}

@@ -1,0 +1,39 @@
+package dp
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// GammaInt draws from the Gamma distribution with integer shape k and the
+// given scale (mean k·scale), as the sum of k independent exponentials.
+// The K-norm mechanism in d dimensions needs shape d+1 (= 3 in the plane).
+func GammaInt(rng *rand.Rand, k int, scale float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	// Product of uniforms avoids k separate Log calls.
+	prod := 1.0
+	for i := 0; i < k; i++ {
+		u := 1 - rng.Float64() // (0, 1]
+		prod *= u
+	}
+	return -scale * math.Log(prod)
+}
+
+// GammaIntDensity returns the density of GammaInt(k, scale) at x ≥ 0.
+func GammaIntDensity(x float64, k int, scale float64) float64 {
+	if x < 0 || k <= 0 {
+		return 0
+	}
+	logf := float64(k-1)*math.Log(x) - x/scale - float64(k)*math.Log(scale) - logFactorial(k-1)
+	return math.Exp(logf)
+}
+
+func logFactorial(n int) float64 {
+	s := 0.0
+	for i := 2; i <= n; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}

@@ -1,0 +1,22 @@
+// Package dp provides the differential-privacy primitives PANDA's
+// mechanisms are built from: seeded random sources, Laplace and planar
+// Laplace (geo-indistinguishability) samplers, integer-shape gamma sampling
+// for the K-norm mechanism, and ε-budget accounting with sequential
+// composition over sliding windows.
+package dp
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic PCG-backed random source for the given
+// seed. All randomized components in PANDA take a *rand.Rand so experiments
+// are reproducible end to end.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Derive produces an independent stream for a labelled sub-component
+// (e.g. one per user) from a base seed, so that adding users does not
+// perturb the randomness of existing ones.
+func Derive(seed uint64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed^0xd1342543de82ef95*stream+stream, stream*0x9e3779b97f4a7c15+seed))
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"github.com/pglp/panda/internal/adversary"
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/roadnet"
+)
+
+// RunE11 reproduces the road-network scenario of the authors' companion
+// work (paper ref [17], Geo-Graph-Indistinguishability): locations live on
+// a Manhattan street network and utility is shortest-path distance *on
+// the network*. Two mechanisms are compared per ε:
+//
+//   - "ggi": GEM bound to the road-adjacency policy graph — the PGLP
+//     realisation of Geo-Graph-Indistinguishability; its releases stay on
+//     the network by construction.
+//   - "geo-i": the planar-Laplace baseline, whose releases land anywhere
+//     and must be projected back to the nearest street.
+//
+// Expected shape: GGI never releases off the network (offroad_frac = 0);
+// at matched ε it also delivers strictly more empirical privacy (the
+// Geo-I point cloud leaks direction off the street grid). Comparing at
+// matched *privacy* instead of matched ε, GGI dominates the
+// privacy-utility frontier on road-distance error — the motivating
+// observation of [17]. At matched ε and moderate noise the projected
+// Geo-I can look slightly better on raw hops; the frontier view is the
+// fair one.
+func RunE11(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := cfg.Grid()
+	if err != nil {
+		return nil, err
+	}
+	rm, err := roadnet.Manhattan(grid, 4)
+	if err != nil {
+		return nil, err
+	}
+	g := rm.PolicyGraph()
+	// Road-supported prior for the adversary.
+	prior := make([]float64, grid.NumCells())
+	for _, r := range rm.Roads() {
+		prior[r] = 1
+	}
+	adv, err := adversary.NewBayesian(grid, prior)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:    "E11",
+		Title: "Road networks: GGI (PGLP on road graph) vs Geo-I projection",
+		Columns: []string{
+			"mechanism", "eps", "road_err_hops", "euclid_err", "adv_err", "offroad_frac",
+		},
+	}
+	type mk struct {
+		name string
+		m    mechanism.Mechanism
+	}
+	for _, eps := range cfg.Epsilons {
+		ggi, err := mechanism.NewGraphExponential(grid, g, eps)
+		if err != nil {
+			return nil, err
+		}
+		geoi, err := mechanism.NewGeoInd(grid, eps, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, entry := range []mk{{"ggi", ggi}, {"geo-i", geoi}} {
+			rng := dp.NewRand(cfg.Seed ^ 0xe11 ^ uint64(eps*1000) ^ hashString(entry.name))
+			var roadErr, euclidErr float64
+			offroad := 0
+			n := cfg.UtilitySamples / 2
+			for i := 0; i < n; i++ {
+				s := rm.RandomRoad(rng)
+				z, err := entry.m.Release(rng, s)
+				if err != nil {
+					return nil, err
+				}
+				snapped := grid.Snap(z)
+				euclidErr += geo.Dist(z, grid.Center(s))
+				if !rm.IsRoad(snapped) {
+					offroad++
+					snapped = rm.NearestRoad(snapped)
+				}
+				if d := rm.RoadDistance(s, snapped); d >= 0 {
+					roadErr += float64(d)
+				}
+			}
+			rep, err := adv.ExpectedError(entry.m, adversary.EstimatorMedoid, cfg.AdversaryRounds/2, rng)
+			if err != nil {
+				return nil, err
+			}
+			table.AddRow(entry.name, eps, roadErr/float64(n), euclidErr/float64(n),
+				rep.MeanError, float64(offroad)/float64(n))
+		}
+	}
+	return table, nil
+}

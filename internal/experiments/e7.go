@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"time"
+
+	"github.com/pglp/panda/internal/core"
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server"
+)
+
+// RunE7 exercises the end-to-end system pipeline of Figs. 1/3: clients
+// release locations under their policies and report them over HTTP; the
+// server ingests, answers density queries, performs an infection policy
+// update, and certifies health codes. The table reports throughput and
+// latency of each stage — the systems-level sanity check behind the demo.
+func RunE7(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := cfg.Grid()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := cfg.Dataset(grid)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Epsilons[len(cfg.Epsilons)/2]
+	base := policy.Baseline(grid)
+	mgr, err := policy.NewManager(grid, base, eps)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.NewServer(server.NewDB(grid), mgr)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := server.NewClient(ts.URL, ts.Client())
+
+	pol, err := core.NewPolicy(eps, base)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := core.NewReleaser(grid, pol, mechanism.KindGEM)
+	if err != nil {
+		return nil, err
+	}
+
+	table := &Table{
+		ID:      "E7",
+		Title:   "System pipeline throughput/latency (HTTP loopback)",
+		Columns: []string{"stage", "ops", "total_ms", "ops_per_sec"},
+	}
+
+	// Stage 1: release + report.
+	reports := 0
+	start := time.Now()
+	for ui, tr := range ds.Trajs {
+		rng := dp.Derive(cfg.Seed^0xe7, uint64(ui)+1)
+		for t := 0; t < ds.Steps; t += 4 { // thin the stream to keep E7 fast
+			z, err := rel.Release(rng, tr.Cells[t])
+			if err != nil {
+				return nil, err
+			}
+			if err := client.Report(tr.User, t, z, 0); err != nil {
+				return nil, err
+			}
+			reports++
+		}
+	}
+	reportDur := time.Since(start)
+	table.AddRow("release+report", reports, float64(reportDur.Milliseconds()),
+		float64(reports)/reportDur.Seconds())
+
+	// Stage 2: density queries.
+	queries := 0
+	start = time.Now()
+	for t := 0; t < ds.Steps; t += 4 {
+		if _, err := client.Density(t, cfg.MonitorBlock, cfg.MonitorBlock); err != nil {
+			return nil, err
+		}
+		queries++
+	}
+	qDur := time.Since(start)
+	table.AddRow("density-query", queries, float64(qDur.Milliseconds()),
+		float64(queries)/qDur.Seconds())
+
+	// Stage 3: infection update + health codes.
+	infected := cfg.infectedCells(ds)
+	start = time.Now()
+	if _, err := client.MarkInfected(infected); err != nil {
+		return nil, err
+	}
+	codes := 0
+	for _, tr := range ds.Trajs {
+		if _, err := client.HealthCode(tr.User, cfg.Window); err != nil {
+			return nil, err
+		}
+		codes++
+	}
+	hcDur := time.Since(start)
+	table.AddRow("healthcode", codes, float64(hcDur.Milliseconds()),
+		float64(codes)/hcDur.Seconds())
+	return table, nil
+}

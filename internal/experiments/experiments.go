@@ -1,0 +1,122 @@
+// Package experiments contains the harnesses that regenerate every
+// evaluation artifact of the paper (the tables/series behind §3.2 and
+// Figs. 2, 4, 5). Each RunEx function produces a printable Table; the
+// cmd/panda-bench binary and the root-level benchmarks drive them. The
+// experiment index and expected shapes live in DESIGN.md §4 and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result: one row per configuration.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each value.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = formatCell(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', 4, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', 4, 64)
+	case int:
+		return strconv.Itoa(x)
+	case bool:
+		return strconv.FormatBool(x)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Cell returns the value at (row, col name), for tests and assertions.
+func (t *Table) Cell(row int, col string) (string, error) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return "", fmt.Errorf("experiments: no column %q", col)
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("experiments: row %d out of range", row)
+	}
+	return t.Rows[row][ci], nil
+}
+
+// CellFloat parses a numeric cell.
+func (t *Table) CellFloat(row int, col string) (float64, error) {
+	s, err := t.Cell(row, col)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FindRows returns indices of rows whose named columns equal the given
+// values (pairs of column, value).
+func (t *Table) FindRows(keyvals ...string) []int {
+	if len(keyvals)%2 != 0 {
+		return nil
+	}
+	var out []int
+rows:
+	for ri := range t.Rows {
+		for i := 0; i < len(keyvals); i += 2 {
+			s, err := t.Cell(ri, keyvals[i])
+			if err != nil || s != keyvals[i+1] {
+				continue rows
+			}
+		}
+		out = append(out, ri)
+	}
+	return out
+}

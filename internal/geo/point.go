@@ -1,0 +1,68 @@
+// Package geo provides the planar geometry substrate used throughout PANDA:
+// points and vectors, rectangular grid maps of discrete location cells,
+// 2x2 linear algebra, convex hulls and the convex-body gauge norm needed by
+// the Planar Isotropic Mechanism.
+//
+// Coordinates are abstract plane units. A Grid with CellSize c places the
+// center of cell (row, col) at ((col+0.5)*c, (row+0.5)*c); experiments
+// interpret one unit as one meter unless stated otherwise.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location (or vector) in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns k*p.
+func (p Point) Scale(k float64) Point { return Point{k * p.X, k * p.Y} }
+
+// Neg returns -p.
+func (p Point) Neg() Point { return Point{-p.X, -p.Y} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// IsZero reports whether p is exactly the origin.
+func (p Point) IsZero() bool { return p.X == 0 && p.Y == 0 }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func Dist2(p, q Point) float64 { return p.Sub(q).Norm2() }
+
+// Lerp returns the point (1-t)*p + t*q.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// AlmostEqual reports whether p and q coincide within tol in each coordinate.
+func AlmostEqual(p, q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}

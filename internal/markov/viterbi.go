@@ -1,0 +1,95 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Viterbi decodes the most likely hidden state sequence given a chain, an
+// initial distribution (nil = uniform) and per-step emission likelihoods
+// (likelihoods[t][s] = Pr(observation t | state s)). It runs in log space
+// and returns the arg-max trajectory — the strongest trajectory-
+// reconstruction attack available to an adversary with the mobility model.
+func Viterbi(chain *Chain, initial []float64, likelihoods [][]float64) ([]int, error) {
+	n := chain.NumStates()
+	T := len(likelihoods)
+	if T == 0 {
+		return nil, fmt.Errorf("markov: no observations")
+	}
+	init := initial
+	if init == nil {
+		init = make([]float64, n)
+		for i := range init {
+			init[i] = 1 / float64(n)
+		}
+	}
+	if len(init) != n {
+		return nil, fmt.Errorf("markov: initial distribution length %d, want %d", len(init), n)
+	}
+	logv := func(x float64) float64 {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log(x)
+	}
+	// score[s] = best log-prob of a path ending in s at the current step.
+	score := make([]float64, n)
+	back := make([][]int32, T)
+	if len(likelihoods[0]) != n {
+		return nil, fmt.Errorf("markov: likelihood row 0 has length %d, want %d", len(likelihoods[0]), n)
+	}
+	for s := 0; s < n; s++ {
+		score[s] = logv(init[s]) + logv(likelihoods[0][s])
+	}
+	next := make([]float64, n)
+	for t := 1; t < T; t++ {
+		if len(likelihoods[t]) != n {
+			return nil, fmt.Errorf("markov: likelihood row %d has length %d, want %d", t, len(likelihoods[t]), n)
+		}
+		back[t] = make([]int32, n)
+		for s := 0; s < n; s++ {
+			next[s] = math.Inf(-1)
+			back[t][s] = -1
+		}
+		for prev := 0; prev < n; prev++ {
+			if math.IsInf(score[prev], -1) {
+				continue
+			}
+			row := chain.p[prev*n : (prev+1)*n]
+			for s, pij := range row {
+				if pij == 0 {
+					continue
+				}
+				cand := score[prev] + math.Log(pij)
+				if cand > next[s] {
+					next[s] = cand
+					back[t][s] = int32(prev)
+				}
+			}
+		}
+		for s := 0; s < n; s++ {
+			next[s] += logv(likelihoods[t][s])
+		}
+		copy(score, next)
+	}
+	// Best final state.
+	best := 0
+	for s := 1; s < n; s++ {
+		if score[s] > score[best] {
+			best = s
+		}
+	}
+	if math.IsInf(score[best], -1) {
+		return nil, fmt.Errorf("markov: no feasible path explains the observations")
+	}
+	path := make([]int, T)
+	path[T-1] = best
+	for t := T - 1; t > 0; t-- {
+		prev := back[t][path[t]]
+		if prev < 0 {
+			return nil, fmt.Errorf("markov: broken backpointer at step %d", t)
+		}
+		path[t-1] = int(prev)
+	}
+	return path, nil
+}

@@ -1,0 +1,127 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestViterbiRecoversDeterministicPath(t *testing.T) {
+	// Chain: deterministic cycle 0→1→2→0.
+	c, err := NewChain(3, []float64{0, 1, 0, 0, 0, 1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noisy observations pointing (weakly) at the true states 0,1,2,0.
+	obs := func(s int) []float64 {
+		l := []float64{0.2, 0.2, 0.2}
+		l[s] = 0.6
+		return l
+	}
+	likelihoods := [][]float64{obs(0), obs(1), obs(2), obs(0)}
+	init := []float64{1, 0, 0}
+	path, err := Viterbi(c, init, likelihoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestViterbiUsesTransitionsWhenObservationsAmbiguous(t *testing.T) {
+	// Two-state chain that strongly prefers staying. With uniform
+	// observations, the decoded path should stay in the initial state.
+	c, _ := NewChain(2, []float64{0.9, 0.1, 0.1, 0.9})
+	uniform := []float64{0.5, 0.5}
+	likelihoods := [][]float64{uniform, uniform, uniform, uniform}
+	path, err := Viterbi(c, []float64{1, 0}, likelihoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range path {
+		if s != 0 {
+			t.Fatalf("step %d left the sticky state: %v", i, path)
+		}
+	}
+}
+
+func TestViterbiDefaultsToUniformInitial(t *testing.T) {
+	c, _ := NewChain(2, []float64{0.5, 0.5, 0.5, 0.5})
+	likelihoods := [][]float64{{0, 1}, {0, 1}}
+	path, err := Viterbi(c, nil, likelihoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 1 || path[1] != 1 {
+		t.Errorf("path = %v, want [1 1]", path)
+	}
+}
+
+func TestViterbiErrors(t *testing.T) {
+	c, _ := NewChain(2, []float64{0.5, 0.5, 0.5, 0.5})
+	if _, err := Viterbi(c, nil, nil); err == nil {
+		t.Error("no observations should error")
+	}
+	if _, err := Viterbi(c, []float64{1}, [][]float64{{1, 1}}); err == nil {
+		t.Error("bad initial length should error")
+	}
+	if _, err := Viterbi(c, nil, [][]float64{{1}}); err == nil {
+		t.Error("bad likelihood row should error")
+	}
+	if _, err := Viterbi(c, nil, [][]float64{{1, 1}, {1}}); err == nil {
+		t.Error("bad later likelihood row should error")
+	}
+	// Infeasible: observation impossible everywhere.
+	if _, err := Viterbi(c, nil, [][]float64{{0, 0}}); err == nil {
+		t.Error("impossible observation should error")
+	}
+	// Infeasible transition: forced 0→? but chain forbids reaching state
+	// that the second observation demands.
+	c2, _ := NewChain(2, []float64{1, 0, 0, 1}) // identity chain
+	if _, err := Viterbi(c2, []float64{1, 0}, [][]float64{{1, 0}, {0, 1}}); err == nil {
+		t.Error("unreachable demanded state should error")
+	}
+}
+
+func TestViterbiMatchesBruteForceSmall(t *testing.T) {
+	// Exhaustive check on a tiny instance: Viterbi path must maximise
+	// init·Πtrans·Πlik over all 3^3 paths.
+	c, _ := NewChain(3, []float64{
+		0.5, 0.3, 0.2,
+		0.2, 0.5, 0.3,
+		0.3, 0.2, 0.5,
+	})
+	init := []float64{0.5, 0.25, 0.25}
+	lik := [][]float64{{0.5, 0.3, 0.2}, {0.1, 0.8, 0.1}, {0.3, 0.3, 0.4}}
+	path, err := Viterbi(c, init, lik)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreOf := func(p []int) float64 {
+		s := math.Log(init[p[0]]) + math.Log(lik[0][p[0]])
+		for t1 := 1; t1 < len(p); t1++ {
+			s += math.Log(c.Prob(p[t1-1], p[t1])) + math.Log(lik[t1][p[t1]])
+		}
+		return s
+	}
+	best := math.Inf(-1)
+	var bestPath []int
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			for d := 0; d < 3; d++ {
+				p := []int{a, b, d}
+				if s := scoreOf(p); s > best {
+					best = s
+					bestPath = p
+				}
+			}
+		}
+	}
+	if scoreOf(path) < best-1e-12 {
+		t.Errorf("viterbi path %v (score %v) worse than brute-force %v (score %v)",
+			path, scoreOf(path), bestPath, best)
+	}
+}

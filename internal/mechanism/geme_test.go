@@ -1,0 +1,184 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+func mustGEME(t *testing.T, grid *geo.Grid, g *policygraph.Graph, eps float64) *GraphEuclidExponential {
+	t.Helper()
+	m, err := NewGraphEuclidExponential(grid, g, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGEMEMassesSumToOne(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	g := policygraph.PartitionCliques(grid, 2, 2)
+	m := mustGEME(t, grid, g, 0.9)
+	for s := 0; s < grid.NumCells(); s++ {
+		var sum float64
+		for z := 0; z < grid.NumCells(); z++ {
+			sum += m.Mass(s, z)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("masses from %d sum to %v", s, sum)
+		}
+	}
+}
+
+// TestGEMEEdgePrivacy verifies Def. 2.4 exactly on every policy edge.
+func TestGEMEEdgePrivacy(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	for _, build := range []func() *policygraph.Graph{
+		func() *policygraph.Graph { return policygraph.GridEightNeighbor(grid) },
+		func() *policygraph.Graph { return policygraph.PartitionCliques(grid, 2, 2) },
+		func() *policygraph.Graph { return policygraph.Complete(16, nil) },
+	} {
+		g := build()
+		eps := 1.1
+		m := mustGEME(t, grid, g, eps)
+		bound := math.Exp(eps) * (1 + 1e-9)
+		for _, e := range g.Edges() {
+			for z := 0; z < grid.NumCells(); z++ {
+				pu, pv := m.Mass(e[0], z), m.Mass(e[1], z)
+				if pu == 0 && pv == 0 {
+					continue
+				}
+				if pu/pv > bound || pv/pu > bound {
+					t.Fatalf("edge (%d,%d), z=%d: ratio %v exceeds e^ε",
+						e[0], e[1], z, math.Max(pu/pv, pv/pu))
+				}
+			}
+		}
+	}
+}
+
+// TestGEMELemma21 verifies ε·dG indistinguishability for ∞-neighbors.
+func TestGEMELemma21(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	g := policygraph.GridFourNeighbor(grid)
+	eps := 0.6
+	m := mustGEME(t, grid, g, eps)
+	for u := 0; u < 16; u++ {
+		du := g.DistancesFrom(u)
+		for v := 0; v < 16; v++ {
+			if du[v] <= 0 {
+				continue
+			}
+			bound := math.Exp(eps*float64(du[v])) * (1 + 1e-9)
+			for z := 0; z < 16; z += 2 {
+				pu, pv := m.Mass(u, z), m.Mass(v, z)
+				if pv > 0 && pu/pv > bound {
+					t.Fatalf("pair (%d,%d) d=%d: ratio %v > e^{εd}", u, v, du[v], pu/pv)
+				}
+			}
+		}
+	}
+}
+
+func TestGEMERandomGraphPrivacyProperty(t *testing.T) {
+	grid := geo.MustGrid(5, 5, 1)
+	f := func(seed uint64) bool {
+		rng := dp.NewRand(seed)
+		g := policygraph.RandomSubsetER(25, 12, 0.3, rng)
+		eps := 0.4 + float64(seed%15)/10
+		m, err := NewGraphEuclidExponential(grid, g, eps)
+		if err != nil {
+			return false
+		}
+		bound := math.Exp(eps) * (1 + 1e-9)
+		for _, e := range g.Edges() {
+			for z := 0; z < 25; z++ {
+				pu, pv := m.Mass(e[0], z), m.Mass(e[1], z)
+				if pu == 0 && pv == 0 {
+					continue
+				}
+				if pu == 0 || pv == 0 || pu/pv > bound || pv/pu > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGEMEBeatsGEMOnCliques confirms the design intent: on a partition
+// policy (cliques of nearby cells) GEME's Euclidean scoring yields lower
+// expected release error than GEM's hop scoring (which is uniform there).
+func TestGEMEBeatsGEMOnCliques(t *testing.T) {
+	grid := geo.MustGrid(8, 8, 1)
+	g := policygraph.PartitionCliques(grid, 4, 4)
+	eps := 2.0
+	meanErr := func(m Mechanism) float64 {
+		rng := dp.NewRand(3)
+		var sum float64
+		const n = 6000
+		for i := 0; i < n; i++ {
+			s := i % grid.NumCells()
+			z, err := m.Release(rng, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += geo.Dist(z, grid.Center(s))
+		}
+		return sum / n
+	}
+	gem := mustGEM(t, grid, g, eps)
+	geme := mustGEME(t, grid, g, eps)
+	eGem, eGeme := meanErr(gem), meanErr(geme)
+	if eGeme >= eGem {
+		t.Errorf("GEME (%v) should beat GEM (%v) on partition policies", eGeme, eGem)
+	}
+}
+
+func TestGEMEIsolatedExact(t *testing.T) {
+	grid := geo.MustGrid(3, 3, 1)
+	g := policygraph.New(9)
+	g.AddEdge(0, 1)
+	m := mustGEME(t, grid, g, 1)
+	p, err := m.Release(dp.NewRand(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != grid.Center(5) {
+		t.Errorf("isolated release = %v, want exact", p)
+	}
+	if m.Mass(5, 5) != 1 {
+		t.Errorf("isolated mass = %v", m.Mass(5, 5))
+	}
+}
+
+func TestGEMESamplingMatchesMass(t *testing.T) {
+	grid := geo.MustGrid(3, 3, 1)
+	g := policygraph.Complete(9, nil)
+	m := mustGEME(t, grid, g, 1.5)
+	rng := dp.NewRand(12)
+	s := 0
+	const n = 50000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		c, err := m.ReleaseCell(rng, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[c]++
+	}
+	for z := 0; z < 9; z++ {
+		want := m.Mass(s, z)
+		got := float64(counts[z]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("cell %d: empirical %v vs mass %v", z, got, want)
+		}
+	}
+}

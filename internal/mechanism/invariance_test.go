@@ -1,0 +1,126 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+// TestGEMSymmetricOnCompleteGraph: on a complete policy graph every pair
+// of cells is exchangeable, so Mass(s, z) = Mass(z, s) exactly.
+func TestGEMSymmetricOnCompleteGraph(t *testing.T) {
+	grid := geo.MustGrid(3, 4, 1)
+	g := policygraph.Complete(12, nil)
+	m, err := NewGraphExponential(grid, g, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 12; s++ {
+		for z := 0; z < 12; z++ {
+			if math.Abs(m.Mass(s, z)-m.Mass(z, s)) > 1e-12 {
+				t.Fatalf("Mass(%d,%d)=%v != Mass(%d,%d)=%v", s, z, m.Mass(s, z), z, s, m.Mass(z, s))
+			}
+		}
+	}
+}
+
+// TestGLMTranslationInvariance: the GLM noise distribution depends only on
+// the displacement z - center(s), so densities are translation invariant
+// within a component.
+func TestGLMTranslationInvariance(t *testing.T) {
+	grid := geo.MustGrid(6, 6, 1)
+	g := policygraph.GridEightNeighbor(grid)
+	m, err := NewGraphLaplace(grid, g, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []geo.Point{{X: 0.3, Y: -0.7}, {X: 2, Y: 1}, {X: -1.5, Y: 0.25}}
+	for s1 := 0; s1 < 36; s1 += 7 {
+		for s2 := 1; s2 < 36; s2 += 5 {
+			for _, off := range offsets {
+				f1 := m.Likelihood(s1, grid.Center(s1).Add(off))
+				f2 := m.Likelihood(s2, grid.Center(s2).Add(off))
+				if math.Abs(f1-f2) > 1e-12*math.Max(f1, 1) {
+					t.Fatalf("GLM not translation invariant: %v vs %v", f1, f2)
+				}
+			}
+		}
+	}
+}
+
+// TestPIMTranslationInvariance: PIM densities likewise depend only on the
+// displacement within a component.
+func TestPIMTranslationInvariance(t *testing.T) {
+	grid := geo.MustGrid(5, 5, 1)
+	g := policygraph.GridEightNeighbor(grid)
+	m, err := NewPIM(grid, g, 0.9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := geo.Pt(0.8, -1.1)
+	base := m.Likelihood(0, grid.Center(0).Add(off))
+	for s := 1; s < 25; s++ {
+		f := m.Likelihood(s, grid.Center(s).Add(off))
+		if math.Abs(f-base) > 1e-12*math.Max(base, 1) {
+			t.Fatalf("PIM not translation invariant at %d: %v vs %v", s, f, base)
+		}
+	}
+}
+
+// TestMechanismDeterministicGivenSeed: same seed, same releases — the
+// reproducibility contract every experiment relies on.
+func TestMechanismDeterministicGivenSeed(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	g := policygraph.GridEightNeighbor(grid)
+	for _, kind := range Kinds() {
+		m, err := New(kind, grid, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, r2 := dp.NewRand(42), dp.NewRand(42)
+		for i := 0; i < 50; i++ {
+			z1, err1 := m.Release(r1, i%16)
+			z2, err2 := m.Release(r2, i%16)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if z1 != z2 {
+				t.Fatalf("%s: non-deterministic release at %d", kind, i)
+			}
+		}
+	}
+}
+
+// TestReleaseNeverNaN: property over random graphs and epsilons — releases
+// are always finite points.
+func TestReleaseNeverNaN(t *testing.T) {
+	grid := geo.MustGrid(5, 5, 1)
+	f := func(seed uint64) bool {
+		rng := dp.NewRand(seed)
+		g := policygraph.RandomSubsetER(25, 10+int(seed%10), 0.3, rng)
+		eps := 0.1 + float64(seed%30)/10
+		for _, kind := range []Kind{KindGEM, KindGEME, KindGLM, KindPIM} {
+			m, err := New(kind, grid, g, eps)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < 20; i++ {
+				z, err := m.Release(rng, rng.IntN(25))
+				if err != nil {
+					return false
+				}
+				if math.IsNaN(z.X) || math.IsNaN(z.Y) || math.IsInf(z.X, 0) || math.IsInf(z.Y, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package policy implements PANDA's Location Policy Configuration module
+// (Fig. 3): it recommends the predefined policy graphs of Fig. 4 for each
+// surveillance application (Ga for location monitoring, Gb for epidemic
+// analysis, Gc for contact tracing), manages per-user policies with
+// versioning and consent, and performs the dynamic policy updates that
+// drive contact tracing ("when the server confirms a diagnosed patient's
+// location history, the Policy Graph Configuration module will update the
+// location privacy policy of the users who have the risk of infection").
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+// ForMonitoring returns Ga: indistinguishability inside each coarse area,
+// areas mutually distinguishable (paper Fig. 4, "such a monitor only
+// requires the people moving between different cities").
+func ForMonitoring(grid *geo.Grid, blockRows, blockCols int) *policygraph.Graph {
+	return policygraph.PartitionCliques(grid, blockRows, blockCols)
+}
+
+// ForAnalysis returns Gb: like Ga but finer-grained, suitable for
+// estimating transmission-model parameters.
+func ForAnalysis(grid *geo.Grid, blockRows, blockCols int) *policygraph.Graph {
+	return policygraph.PartitionCliques(grid, blockRows, blockCols)
+}
+
+// ForContactTracing returns Gc: the base policy with all locations in
+// `infected` made disclosable (isolated), so that visits to infected
+// places can be revealed exactly while everything else keeps
+// indistinguishability.
+func ForContactTracing(base *policygraph.Graph, infected []int) *policygraph.Graph {
+	return policygraph.IsolateNodes(base, infected)
+}
+
+// Baseline returns G1 (grid-8 adjacency), the Geo-Indistinguishability-
+// equivalent policy of Fig. 2.
+func Baseline(grid *geo.Grid) *policygraph.Graph {
+	return policygraph.GridEightNeighbor(grid)
+}
+
+// UserPolicy is a user's current policy assignment.
+type UserPolicy struct {
+	Graph     *policygraph.Graph
+	Epsilon   float64
+	Version   int  // bumped on every change; triggers client re-sends
+	Consented bool // the user has the right to reject a policy (§2.1)
+}
+
+// Manager holds per-user policies. It is safe for concurrent use — the
+// server mutates policies (infection updates) while clients read them.
+type Manager struct {
+	mu           sync.RWMutex
+	grid         *geo.Grid
+	defaultGraph *policygraph.Graph
+	defaultEps   float64
+	users        map[int]*UserPolicy
+	infected     map[int]bool // accumulated disclosable cells
+}
+
+// NewManager creates a manager handing out the given default policy.
+func NewManager(grid *geo.Grid, defaultGraph *policygraph.Graph, eps float64) (*Manager, error) {
+	if grid == nil || defaultGraph == nil {
+		return nil, fmt.Errorf("policy: nil grid or graph")
+	}
+	if defaultGraph.NumNodes() != grid.NumCells() {
+		return nil, fmt.Errorf("policy: graph over %d nodes, grid has %d cells",
+			defaultGraph.NumNodes(), grid.NumCells())
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("policy: epsilon must be positive, got %v", eps)
+	}
+	return &Manager{
+		grid:         grid,
+		defaultGraph: defaultGraph,
+		defaultEps:   eps,
+		users:        make(map[int]*UserPolicy),
+		infected:     make(map[int]bool),
+	}, nil
+}
+
+// Get returns the user's policy, lazily assigning the default (consented;
+// users opt out explicitly via Consent).
+func (m *Manager) Get(user int) UserPolicy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return *m.getLocked(user)
+}
+
+func (m *Manager) getLocked(user int) *UserPolicy {
+	up, ok := m.users[user]
+	if !ok {
+		up = &UserPolicy{Graph: m.currentDefaultLocked(), Epsilon: m.defaultEps, Version: 1, Consented: true}
+		m.users[user] = up
+	}
+	return up
+}
+
+// currentDefaultLocked is the default graph with accumulated infected
+// cells isolated.
+func (m *Manager) currentDefaultLocked() *policygraph.Graph {
+	if len(m.infected) == 0 {
+		return m.defaultGraph
+	}
+	return policygraph.IsolateNodes(m.defaultGraph, m.infectedListLocked())
+}
+
+func (m *Manager) infectedListLocked() []int {
+	out := make([]int, 0, len(m.infected))
+	for c := range m.infected {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Set replaces a user's policy explicitly and bumps its version.
+func (m *Manager) Set(user int, g *policygraph.Graph, eps float64) error {
+	if g == nil || g.NumNodes() != m.grid.NumCells() {
+		return fmt.Errorf("policy: invalid graph for user %d", user)
+	}
+	if eps <= 0 {
+		return fmt.Errorf("policy: epsilon must be positive, got %v", eps)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := m.getLocked(user)
+	up.Graph = g
+	up.Epsilon = eps
+	up.Version++
+	return nil
+}
+
+// Consent records whether the user accepts their current policy. A user
+// who rejects releases nothing (§2.1: "The user has the right to reject a
+// privacy policy so that no location will be released").
+func (m *Manager) Consent(user int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.getLocked(user).Consented = ok
+}
+
+// MarkInfected records newly infected (disclosable) cells and updates
+// every known user's policy to the contact-tracing variant, bumping
+// versions. It returns the users whose policies changed.
+func (m *Manager) MarkInfected(cells []int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for _, c := range cells {
+		if c >= 0 && c < m.grid.NumCells() && !m.infected[c] {
+			m.infected[c] = true
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	infected := m.infectedListLocked()
+	users := make([]int, 0, len(m.users))
+	for id, up := range m.users {
+		up.Graph = policygraph.IsolateNodes(m.defaultGraph, infected)
+		up.Version++
+		users = append(users, id)
+	}
+	sort.Ints(users)
+	return users
+}
+
+// InfectedCells returns the accumulated disclosable cells.
+func (m *Manager) InfectedCells() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.infectedListLocked()
+}
+
+// Version returns the user's current policy version (0 if unknown).
+func (m *Manager) Version(user int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if up, ok := m.users[user]; ok {
+		return up.Version
+	}
+	return 0
+}
+
+// Users returns the IDs of all users with assigned policies.
+func (m *Manager) Users() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.users))
+	for id := range m.users {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

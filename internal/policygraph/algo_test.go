@@ -1,0 +1,232 @@
+package policygraph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancesPath(t *testing.T) {
+	g := Path(5)
+	d := g.DistancesFrom(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if g.Distance(0, 4) != 4 {
+		t.Errorf("Distance(0,4) = %d", g.Distance(0, 4))
+	}
+	if g.Distance(2, 2) != 0 {
+		t.Errorf("Distance(2,2) = %d", g.Distance(2, 2))
+	}
+}
+
+func TestDistanceDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Distance(0, 3) != Unreachable {
+		t.Errorf("Distance across components = %d, want Unreachable", g.Distance(0, 3))
+	}
+	d := g.DistancesFrom(0)
+	if d[2] != Unreachable || d[3] != Unreachable {
+		t.Errorf("DistancesFrom = %v", d)
+	}
+}
+
+func TestDistanceMatchesBFSProperty(t *testing.T) {
+	// Property: bidirectional Distance agrees with DistancesFrom on random
+	// graphs, is symmetric, and obeys the triangle inequality on finite
+	// entries (Def. 2.2 is a graph metric within components).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+		n := 12 + int(seed%8)
+		g := RandomER(n, 0.2, rng)
+		for trial := 0; trial < 10; trial++ {
+			u, v, w := rng.IntN(n), rng.IntN(n), rng.IntN(n)
+			du := g.DistancesFrom(u)
+			if g.Distance(u, v) != du[v] {
+				return false
+			}
+			if g.Distance(u, v) != g.Distance(v, u) {
+				return false
+			}
+			duv, duw, dwv := du[v], du[w], g.Distance(w, v)
+			if duv >= 0 && duw >= 0 && dwv >= 0 && duv > duw+dwv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNeighbors(t *testing.T) {
+	g := Path(6)
+	got := g.KNeighbors(2, 1)
+	want := []int{1, 2, 3}
+	if !sameInts(got, want) {
+		t.Errorf("KNeighbors(2,1) = %v, want %v", got, want)
+	}
+	got = g.KNeighbors(2, 2)
+	want = []int{0, 1, 2, 3, 4}
+	if !sameInts(got, want) {
+		t.Errorf("KNeighbors(2,2) = %v, want %v", got, want)
+	}
+	if got := g.KNeighbors(2, 0); !sameInts(got, []int{2}) {
+		t.Errorf("KNeighbors(2,0) = %v, want {2}", got)
+	}
+	// k<0 means ∞-neighbors.
+	if got := g.KNeighbors(2, -1); !sameInts(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("KNeighbors(2,∞) = %v", got)
+	}
+}
+
+func TestKNeighborsMonotone(t *testing.T) {
+	// Property: N^k(s) ⊆ N^(k+1)(s) and N^k(s) ⊆ N^∞(s).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 15
+		g := RandomER(n, 0.15, rng)
+		s := rng.IntN(n)
+		inf := toSet(g.ComponentOf(s))
+		prev := map[int]bool{}
+		for k := 0; k <= 5; k++ {
+			cur := toSet(g.KNeighbors(s, k))
+			for u := range prev {
+				if !cur[u] {
+					return false
+				}
+			}
+			for u := range cur {
+				if !inf[u] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("Components = %v, want 4 groups", comps)
+	}
+	if !sameInts(comps[0], []int{0, 1, 2}) {
+		t.Errorf("comps[0] = %v", comps[0])
+	}
+	if !sameInts(comps[1], []int{3}) {
+		t.Errorf("comps[1] = %v", comps[1])
+	}
+	idx := g.ComponentIndex()
+	if idx[0] != idx[2] || idx[4] != idx[5] || idx[0] == idx[4] || idx[3] == idx[0] {
+		t.Errorf("ComponentIndex = %v", idx)
+	}
+}
+
+func TestComponentsPartitionUniverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 20
+		g := RandomER(n, 0.1, rng)
+		seen := make([]bool, n)
+		for _, comp := range g.Components() {
+			for _, u := range comp {
+				if seen[u] {
+					return false // overlap
+				}
+				seen[u] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false // not covering
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsConnectedAndDiameter(t *testing.T) {
+	if !Path(5).IsConnected() {
+		t.Error("path should be connected")
+	}
+	if Path(5).Diameter() != 4 {
+		t.Errorf("path diameter = %d", Path(5).Diameter())
+	}
+	if Cycle(6).Diameter() != 3 {
+		t.Errorf("cycle diameter = %d", Cycle(6).Diameter())
+	}
+	g := New(4)
+	g.AddEdge(0, 1)
+	if g.IsConnected() {
+		t.Error("graph with isolated nodes is not connected")
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("diameter = %d, want 1 (largest finite)", g.Diameter())
+	}
+	if New(0).IsConnected() {
+		t.Error("empty graph is not connected")
+	}
+	if New(3).Diameter() != 0 {
+		t.Error("edgeless graph diameter should be 0")
+	}
+}
+
+func TestAllDistances(t *testing.T) {
+	g := Cycle(5)
+	d := g.AllDistances()
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if d[u][v] != d[v][u] {
+				t.Fatalf("AllDistances asymmetric at %d,%d", u, v)
+			}
+			if d[u][v] != g.Distance(u, v) {
+				t.Fatalf("AllDistances[%d][%d] = %d, Distance = %d", u, v, d[u][v], g.Distance(u, v))
+			}
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5, 0)
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func toSet(a []int) map[int]bool {
+	m := make(map[int]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+package policygraph_test
+
+import (
+	"fmt"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+// ExampleGridEightNeighbor builds the paper's G1 policy graph and queries
+// the graph distance of Def. 2.2.
+func ExampleGridEightNeighbor() {
+	grid := geo.MustGrid(4, 4, 1)
+	g1 := policygraph.GridEightNeighbor(grid)
+	fmt.Println("edges:", g1.NumEdges())
+	fmt.Println("dG(corner, far corner):", g1.Distance(0, 15))
+	// Output:
+	// edges: 42
+	// dG(corner, far corner): 3
+}
+
+// ExampleIsolateNodes builds a Gc contact-tracing policy: infected places
+// become disclosable while the rest stay protected.
+func ExampleIsolateNodes() {
+	grid := geo.MustGrid(3, 3, 1)
+	base := policygraph.GridEightNeighbor(grid)
+	gc := policygraph.IsolateNodes(base, []int{4})
+	fmt.Println("disclosable:", gc.IsolatedNodes())
+	fmt.Println("still protected edges:", gc.NumEdges())
+	// Output:
+	// disclosable: [4]
+	// still protected edges: 12
+}
+
+// ExampleGraph_KNeighbors demonstrates Def. 2.3: the k-hop neighborhoods
+// whose indistinguishability decays as ε·k (Lemma 2.1).
+func ExampleGraph_KNeighbors() {
+	path := policygraph.Path(6) // 0-1-2-3-4-5
+	fmt.Println("N^1(2):", path.KNeighbors(2, 1))
+	fmt.Println("N^2(2):", path.KNeighbors(2, 2))
+	fmt.Println("N^∞(2):", path.KNeighbors(2, -1))
+	// Output:
+	// N^1(2): [1 2 3]
+	// N^2(2): [0 1 2 3 4]
+	// N^∞(2): [0 1 2 3 4 5]
+}

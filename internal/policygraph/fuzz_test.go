@@ -1,0 +1,43 @@
+package policygraph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON checks that arbitrary byte inputs never panic the decoder
+// and that everything it accepts round-trips losslessly.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":4,"edges":[[0,1],[2,3]]}`))
+	f.Add([]byte(`{"nodes":0,"edges":[]}`))
+	f.Add([]byte(`{"nodes":-1}`))
+	f.Add([]byte(`{"nodes":3,"edges":[[0,0]]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		// Accepted graphs must be internally consistent and re-encodable.
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !g.Equal(&back) {
+			t.Fatal("round trip not lossless")
+		}
+		// Graph invariants hold.
+		if g.NumEdges() < 0 || g.NumNodes() < 0 {
+			t.Fatal("negative counts")
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatal("Edges lists a non-edge")
+			}
+		}
+	})
+}

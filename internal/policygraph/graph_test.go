@@ -1,0 +1,212 @@
+package policygraph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if !g.AddEdge(0, 1) {
+		t.Error("AddEdge(0,1) should add")
+	}
+	if g.AddEdge(1, 0) {
+		t.Error("duplicate edge should not add")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("self-loop should not add")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be undirected")
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge should remove")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge of absent edge should report false")
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range node")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 4)
+	if g.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d", g.Degree(0))
+	}
+	got := g.Neighbors(0)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v (sorted)", got, want)
+		}
+	}
+	count := 0
+	g.VisitNeighbors(0, func(int) { count++ })
+	if count != 3 {
+		t.Errorf("VisitNeighbors visited %d, want 3", count)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(2, 0)
+	g.AddEdge(1, 0)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := New(5)
+	g.AddEdge(1, 2)
+	iso := g.IsolatedNodes()
+	want := []int{0, 3, 4}
+	if len(iso) != 3 {
+		t.Fatalf("IsolatedNodes = %v, want %v", iso, want)
+	}
+	for i := range want {
+		if iso[i] != want[i] {
+			t.Fatalf("IsolatedNodes = %v, want %v", iso, want)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c.AddEdge(4, 5)
+	if g.Equal(c) {
+		t.Error("modified clone should differ")
+	}
+	if g.Equal(New(5)) {
+		t.Error("different universes should differ")
+	}
+	if g.Equal(nil) {
+		t.Error("nil should differ")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	sub := g.InducedSubgraph([]int{1, 2, 3})
+	if sub.NumNodes() != 5 {
+		t.Errorf("induced subgraph universe changed: %d", sub.NumNodes())
+	}
+	if !sub.HasEdge(1, 2) || !sub.HasEdge(2, 3) {
+		t.Error("interior edges should survive")
+	}
+	if sub.HasEdge(0, 1) || sub.HasEdge(3, 4) {
+		t.Error("boundary edges should be dropped")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(4)
+	a.AddEdge(0, 1)
+	b := New(4)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1)
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumEdges() != 2 || !u.HasEdge(0, 1) || !u.HasEdge(2, 3) {
+		t.Errorf("union wrong: %v", u.Edges())
+	}
+	if _, err := a.Union(New(3)); err == nil {
+		t.Error("mismatched universes should error")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	g := Complete(5, nil)
+	if g.Density() != 1 {
+		t.Errorf("complete density = %v, want 1", g.Density())
+	}
+	if New(5).Density() != 0 {
+		t.Error("empty density should be 0")
+	}
+	if New(1).Density() != 0 {
+		t.Error("single-node density should be 0")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 5)
+	g.AddEdge(1, 2)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&back) {
+		t.Errorf("round trip mismatch: %v vs %v", g.Edges(), back.Edges())
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	var g Graph
+	for _, bad := range []string{
+		`{"nodes":-1,"edges":[]}`,
+		`{"nodes":3,"edges":[[0,5]]}`,
+		`{"nodes":3,"edges":[[1,1]]}`,
+		`{"nodes":3,"edges":[[-1,0]]}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &g); err == nil {
+			t.Errorf("expected error for %s", bad)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "g"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0 -- 1;") || !strings.Contains(out, "2;") {
+		t.Errorf("DOT output missing parts:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+)
+
+// Client talks to a PANDA server over HTTP; it plays the role of the
+// mobile app (the paper's prototype).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the given base URL (e.g.
+// "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+func (c *Client) post(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("server client: encoding request: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("server client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("server client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server client: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("server client: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Report sends a released location.
+func (c *Client) Report(user, t int, p geo.Point, policyVersion int) error {
+	return c.post("/v1/report", reportRequest{
+		User: user, T: t, X: p.X, Y: p.Y, PolicyVersion: policyVersion,
+	}, nil)
+}
+
+// ClientPolicy is the decoded policy of a user.
+type ClientPolicy struct {
+	User    int
+	Epsilon float64
+	Version int
+	Graph   *policygraph.Graph
+}
+
+// Policy fetches the user's current policy (graph included).
+func (c *Client) Policy(user int) (ClientPolicy, error) {
+	var raw policyResponse
+	if err := c.get(fmt.Sprintf("/v1/policy?user=%d", user), &raw); err != nil {
+		return ClientPolicy{}, err
+	}
+	var g policygraph.Graph
+	if err := json.Unmarshal(raw.Graph, &g); err != nil {
+		return ClientPolicy{}, fmt.Errorf("server client: decoding policy graph: %w", err)
+	}
+	return ClientPolicy{User: raw.User, Epsilon: raw.Epsilon, Version: raw.Version, Graph: &g}, nil
+}
+
+// MarkInfected publishes newly infected cells; returns affected users.
+func (c *Client) MarkInfected(cells []int) ([]int, error) {
+	var out map[string][]int
+	if err := c.post("/v1/infected", infectedRequest{Cells: cells}, &out); err != nil {
+		return nil, err
+	}
+	return out["changed"], nil
+}
+
+// HealthCode fetches the user's certification.
+func (c *Client) HealthCode(user, window int) (HealthCode, error) {
+	var out map[string]string
+	path := fmt.Sprintf("/v1/healthcode?user=%d", user)
+	if window > 0 {
+		path += fmt.Sprintf("&window=%d", window)
+	}
+	if err := c.get(path, &out); err != nil {
+		return "", err
+	}
+	return HealthCode(out["code"]), nil
+}
+
+// Density fetches regional release counts at a timestep.
+func (c *Client) Density(t, blockRows, blockCols int) ([]int, error) {
+	var out map[string][]int
+	path := fmt.Sprintf("/v1/density?t=%d&block_rows=%d&block_cols=%d", t, blockRows, blockCols)
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	return out["counts"], nil
+}
+
+// Records fetches a user's stored releases.
+func (c *Client) Records(user int) ([]Record, error) {
+	var out []Record
+	if err := c.get(fmt.Sprintf("/v1/records?user=%d", user), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DensitySeries fetches per-region counts for a timestep range.
+func (c *Client) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
+	var out map[string][][]int
+	path := fmt.Sprintf("/v1/density_series?t0=%d&t1=%d&block_rows=%d&block_cols=%d",
+		t0, t1, blockRows, blockCols)
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	return out["series"], nil
+}
+
+// Exposure fetches the infected-place exposure series.
+func (c *Client) Exposure(t0, t1 int) ([]int, error) {
+	var out map[string][]int
+	if err := c.get(fmt.Sprintf("/v1/exposure?t0=%d&t1=%d", t0, t1), &out); err != nil {
+		return nil, err
+	}
+	return out["exposure"], nil
+}
+
+// Census fetches the population health-code tally.
+func (c *Client) Census(window int) (map[HealthCode]int, error) {
+	var out map[string]int
+	path := "/v1/census"
+	if window > 0 {
+		path += fmt.Sprintf("?window=%d", window)
+	}
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	census := make(map[HealthCode]int, len(out))
+	for code, n := range out {
+		census[HealthCode(code)] = n
+	}
+	return census, nil
+}

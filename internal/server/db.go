@@ -1,0 +1,196 @@
+// Package server implements PANDA's untrusted (semi-honest) server side
+// (Fig. 1/3): an in-memory database of released locations, the aggregate
+// queries behind the location-monitoring app (regional density and
+// movement flows), the privacy-preserving "health code" service, and an
+// HTTP API with a matching client that plays the role of the mobile app.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// Record is one released location as stored by the server. The server
+// never sees true locations — only mechanism outputs.
+type Record struct {
+	User          int       `json:"user"`
+	T             int       `json:"t"`
+	Point         geo.Point `json:"point"`
+	Cell          int       `json:"cell"` // snapped cell of Point
+	PolicyVersion int       `json:"policy_version"`
+}
+
+// DB is a concurrency-safe store of released locations keyed by user.
+type DB struct {
+	mu   sync.RWMutex
+	grid *geo.Grid
+	recs map[int][]Record // per user, ascending T
+	n    int
+}
+
+// NewDB creates an empty location database over the grid.
+func NewDB(grid *geo.Grid) *DB {
+	return &DB{grid: grid, recs: make(map[int][]Record)}
+}
+
+// Grid returns the database's grid.
+func (db *DB) Grid() *geo.Grid { return db.grid }
+
+// Len returns the total number of stored records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.n
+}
+
+// Insert stores a record, snapping its point if Cell is unset (-1). A
+// record for an existing (user, t) pair replaces the older release — the
+// re-send semantics of the contact-tracing protocol.
+func (db *DB) Insert(rec Record) error {
+	if rec.T < 0 {
+		return fmt.Errorf("server: negative timestep %d", rec.T)
+	}
+	if rec.Cell == -1 {
+		rec.Cell = db.grid.Snap(rec.Point)
+	}
+	if !db.grid.InRange(rec.Cell) {
+		return fmt.Errorf("server: cell %d out of range", rec.Cell)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rs := db.recs[rec.User]
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= rec.T })
+	if i < len(rs) && rs[i].T == rec.T {
+		rs[i] = rec // replace
+	} else {
+		rs = append(rs, Record{})
+		copy(rs[i+1:], rs[i:])
+		rs[i] = rec
+		db.n++
+	}
+	db.recs[rec.User] = rs
+	return nil
+}
+
+// UserRecords returns a copy of one user's records in time order.
+func (db *DB) UserRecords(user int) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.recs[user]
+	out := make([]Record, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Users returns the IDs of users with at least one record.
+func (db *DB) Users() []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]int, 0, len(db.recs))
+	for u := range db.recs {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// At returns every user's record at timestep t (users without one are
+// skipped), ordered by user ID.
+func (db *DB) At(t int) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Record
+	for _, rs := range db.recs {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= t })
+		if i < len(rs) && rs[i].T == t {
+			out = append(out, rs[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// DensityAt returns the number of released locations per blockRows×blockCols
+// region at timestep t — the location-monitoring aggregate ("people's
+// movement between different cities or provinces in a coarse-grained
+// level").
+func (db *DB) DensityAt(t, blockRows, blockCols int) []int {
+	counts := make([]int, db.grid.NumRegions(blockRows, blockCols))
+	for _, rec := range db.At(t) {
+		counts[db.grid.RegionOf(rec.Cell, blockRows, blockCols)]++
+	}
+	return counts
+}
+
+// MovementMatrix returns flows[from][to]: how many users moved from region
+// `from` at t1 to region `to` at t2 (users must have records at both).
+func (db *DB) MovementMatrix(t1, t2, blockRows, blockCols int) [][]int {
+	nr := db.grid.NumRegions(blockRows, blockCols)
+	flows := make([][]int, nr)
+	for i := range flows {
+		flows[i] = make([]int, nr)
+	}
+	at1 := db.At(t1)
+	at2map := make(map[int]Record)
+	for _, r := range db.At(t2) {
+		at2map[r.User] = r
+	}
+	for _, r1 := range at1 {
+		r2, ok := at2map[r1.User]
+		if !ok {
+			continue
+		}
+		from := db.grid.RegionOf(r1.Cell, blockRows, blockCols)
+		to := db.grid.RegionOf(r2.Cell, blockRows, blockCols)
+		flows[from][to]++
+	}
+	return flows
+}
+
+// HealthCode is the certification level of the health-code service.
+type HealthCode string
+
+// Codes, ordered by increasing risk.
+const (
+	CodeGreen  HealthCode = "green"  // no recorded visit to an infected place
+	CodeYellow HealthCode = "yellow" // one recorded visit
+	CodeRed    HealthCode = "red"    // two or more recorded visits (the paper's contact rule)
+)
+
+// HealthCodeFor certifies a user from their released locations: visits to
+// infected cells within the last `window` timesteps (≤0 = all history) are
+// counted. Because it runs on released data only, the certificate is
+// privacy-preserving by post-processing.
+func (db *DB) HealthCodeFor(user int, infected []int, window int) HealthCode {
+	inf := make(map[int]bool, len(infected))
+	for _, c := range infected {
+		inf[c] = true
+	}
+	rs := db.UserRecords(user)
+	maxT := -1
+	for _, r := range rs {
+		if r.T > maxT {
+			maxT = r.T
+		}
+	}
+	visits := 0
+	for _, r := range rs {
+		if window > 0 && r.T <= maxT-window {
+			continue
+		}
+		if inf[r.Cell] {
+			visits++
+		}
+	}
+	switch {
+	case visits >= 2:
+		return CodeRed
+	case visits == 1:
+		return CodeYellow
+	default:
+		return CodeGreen
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+func TestDBInsertAndQuery(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	if err := db.Insert(Record{User: 1, T: 0, Point: grid.Center(5), Cell: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(Record{User: 1, T: 1, Point: grid.Center(6), Cell: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	rs := db.UserRecords(1)
+	if len(rs) != 2 || rs[0].Cell != 5 || rs[1].Cell != 6 {
+		t.Errorf("UserRecords = %+v", rs)
+	}
+	if got := db.Users(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Users = %v", got)
+	}
+	if at := db.At(1); len(at) != 1 || at[0].Cell != 6 {
+		t.Errorf("At(1) = %+v", at)
+	}
+	if at := db.At(9); len(at) != 0 {
+		t.Errorf("At(9) = %+v, want empty", at)
+	}
+}
+
+func TestDBInsertValidation(t *testing.T) {
+	grid := geo.MustGrid(2, 2, 1)
+	db := NewDB(grid)
+	if err := db.Insert(Record{User: 0, T: -1, Cell: 0}); err == nil {
+		t.Error("negative t should error")
+	}
+	if err := db.Insert(Record{User: 0, T: 0, Cell: 99}); err == nil {
+		t.Error("bad cell should error")
+	}
+	// Snap handles out-of-map points by clamping.
+	if err := db.Insert(Record{User: 0, T: 0, Point: geo.Pt(-50, -50), Cell: -1}); err != nil {
+		t.Errorf("clamped insert failed: %v", err)
+	}
+	if rs := db.UserRecords(0); rs[0].Cell != 0 {
+		t.Errorf("clamped cell = %d, want 0", rs[0].Cell)
+	}
+}
+
+func TestDBReplaceOnResend(t *testing.T) {
+	grid := geo.MustGrid(2, 2, 1)
+	db := NewDB(grid)
+	_ = db.Insert(Record{User: 3, T: 5, Cell: 0, PolicyVersion: 1})
+	_ = db.Insert(Record{User: 3, T: 5, Cell: 2, PolicyVersion: 2})
+	rs := db.UserRecords(3)
+	if len(rs) != 1 {
+		t.Fatalf("re-send should replace, got %d records", len(rs))
+	}
+	if rs[0].Cell != 2 || rs[0].PolicyVersion != 2 {
+		t.Errorf("record = %+v, want updated release", rs[0])
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestDBRecordsSortedByTime(t *testing.T) {
+	grid := geo.MustGrid(2, 2, 1)
+	db := NewDB(grid)
+	for _, ti := range []int{5, 1, 3, 0, 4, 2} {
+		_ = db.Insert(Record{User: 0, T: ti, Cell: ti % 4})
+	}
+	rs := db.UserRecords(0)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].T <= rs[i-1].T {
+			t.Fatalf("records not sorted: %+v", rs)
+		}
+	}
+}
+
+func TestDensityAt(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	// Three users in region 0 (top-left 2x2), one in region 3.
+	_ = db.Insert(Record{User: 0, T: 0, Cell: 0})
+	_ = db.Insert(Record{User: 1, T: 0, Cell: 1})
+	_ = db.Insert(Record{User: 2, T: 0, Cell: 5})
+	_ = db.Insert(Record{User: 3, T: 0, Cell: 15})
+	counts := db.DensityAt(0, 2, 2)
+	if len(counts) != 4 {
+		t.Fatalf("regions = %d", len(counts))
+	}
+	if counts[0] != 3 || counts[3] != 1 || counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("density = %v", counts)
+	}
+}
+
+func TestMovementMatrix(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	// User 0 moves region 0 → region 3; user 1 stays in region 0;
+	// user 2 has no second record.
+	_ = db.Insert(Record{User: 0, T: 0, Cell: 0})
+	_ = db.Insert(Record{User: 0, T: 1, Cell: 15})
+	_ = db.Insert(Record{User: 1, T: 0, Cell: 1})
+	_ = db.Insert(Record{User: 1, T: 1, Cell: 4})
+	_ = db.Insert(Record{User: 2, T: 0, Cell: 2})
+	flows := db.MovementMatrix(0, 1, 2, 2)
+	if flows[0][3] != 1 {
+		t.Errorf("flow 0→3 = %d, want 1", flows[0][3])
+	}
+	if flows[0][0] != 1 {
+		t.Errorf("flow 0→0 = %d, want 1", flows[0][0])
+	}
+	var total int
+	for _, row := range flows {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 2 {
+		t.Errorf("total flows = %d, want 2 (user 2 has no pair)", total)
+	}
+}
+
+func TestHealthCodeFor(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	infected := []int{5, 6}
+	_ = db.Insert(Record{User: 0, T: 0, Cell: 0})
+	if code := db.HealthCodeFor(0, infected, 0); code != CodeGreen {
+		t.Errorf("code = %v, want green", code)
+	}
+	_ = db.Insert(Record{User: 0, T: 1, Cell: 5})
+	if code := db.HealthCodeFor(0, infected, 0); code != CodeYellow {
+		t.Errorf("code = %v, want yellow", code)
+	}
+	_ = db.Insert(Record{User: 0, T: 2, Cell: 6})
+	if code := db.HealthCodeFor(0, infected, 0); code != CodeRed {
+		t.Errorf("code = %v, want red", code)
+	}
+	// Windowing: only the visit at t=2 counts in a window of 1.
+	if code := db.HealthCodeFor(0, infected, 1); code != CodeYellow {
+		t.Errorf("windowed code = %v, want yellow", code)
+	}
+	// Unknown user is green.
+	if code := db.HealthCodeFor(42, infected, 0); code != CodeGreen {
+		t.Errorf("unknown user code = %v", code)
+	}
+}
+
+func TestDBConcurrent(t *testing.T) {
+	grid := geo.MustGrid(8, 8, 1)
+	db := NewDB(grid)
+	var wg sync.WaitGroup
+	for u := 0; u < 8; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			for ti := 0; ti < 100; ti++ {
+				_ = db.Insert(Record{User: user, T: ti, Cell: (user + ti) % 64})
+				db.At(ti % 10)
+				db.DensityAt(ti%10, 4, 4)
+			}
+		}(u)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Errorf("Len = %d, want 800", db.Len())
+	}
+}

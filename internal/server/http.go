@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+)
+
+// Server exposes the surveillance backend over HTTP. Endpoints:
+//
+//	POST /v1/report      {user, t, x, y, policy_version} → 204
+//	GET  /v1/policy?user=ID                              → policy JSON
+//	POST /v1/infected    {cells: [...]}                  → {changed: [...]}
+//	GET  /v1/healthcode?user=ID&window=W                 → {code}
+//	GET  /v1/density?t=T&block_rows=R&block_cols=C       → {counts: [...]}
+//	GET  /v1/records?user=ID                             → [records]
+type Server struct {
+	db  *DB
+	mgr *policy.Manager
+}
+
+// NewServer wires a database and a policy manager.
+func NewServer(db *DB, mgr *policy.Manager) (*Server, error) {
+	if db == nil || mgr == nil {
+		return nil, fmt.Errorf("server: nil db or policy manager")
+	}
+	return &Server{db: db, mgr: mgr}, nil
+}
+
+// DB exposes the underlying database (the apps query it directly when
+// embedded in-process).
+func (s *Server) DB() *DB { return s.db }
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
+	mux.HandleFunc("POST /v1/infected", s.handleInfected)
+	mux.HandleFunc("GET /v1/healthcode", s.handleHealthCode)
+	mux.HandleFunc("GET /v1/density", s.handleDensity)
+	mux.HandleFunc("GET /v1/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/density_series", s.handleDensitySeries)
+	mux.HandleFunc("GET /v1/exposure", s.handleExposure)
+	mux.HandleFunc("GET /v1/census", s.handleCensus)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+// reportRequest is the wire form of a location report.
+type reportRequest struct {
+	User          int     `json:"user"`
+	T             int     `json:"t"`
+	X             float64 `json:"x"`
+	Y             float64 `json:"y"`
+	PolicyVersion int     `json:"policy_version"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req reportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding report: %v", err)
+		return
+	}
+	up := s.mgr.Get(req.User)
+	if !up.Consented {
+		httpError(w, http.StatusForbidden, "user %d has not consented to the current policy", req.User)
+		return
+	}
+	if req.PolicyVersion != 0 && req.PolicyVersion != up.Version {
+		httpError(w, http.StatusConflict, "stale policy version %d (current %d)", req.PolicyVersion, up.Version)
+		return
+	}
+	rec := Record{User: req.User, T: req.T, Point: geo.Pt(req.X, req.Y), Cell: -1, PolicyVersion: up.Version}
+	if err := s.db.Insert(rec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// policyResponse is the wire form of a user policy. The graph is included
+// verbatim: publishing policy graphs is part of the transparency story.
+type policyResponse struct {
+	User    int             `json:"user"`
+	Epsilon float64         `json:"epsilon"`
+	Version int             `json:"version"`
+	Graph   json.RawMessage `json:"graph"`
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	up := s.mgr.Get(user)
+	graph, err := json.Marshal(up.Graph)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding graph: %v", err)
+		return
+	}
+	writeJSON(w, policyResponse{User: user, Epsilon: up.Epsilon, Version: up.Version, Graph: graph})
+}
+
+type infectedRequest struct {
+	Cells []int `json:"cells"`
+}
+
+func (s *Server) handleInfected(w http.ResponseWriter, r *http.Request) {
+	var req infectedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding infected cells: %v", err)
+		return
+	}
+	changed := s.mgr.MarkInfected(req.Cells)
+	if changed == nil {
+		changed = []int{}
+	}
+	writeJSON(w, map[string][]int{"changed": changed})
+}
+
+func (s *Server) handleHealthCode(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	window := 0
+	if r.URL.Query().Get("window") != "" {
+		if window, err = queryInt(r, "window"); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	code := s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window)
+	writeJSON(w, map[string]string{"code": string(code)})
+}
+
+func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	t, err := queryInt(r, "t")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	br, err := queryInt(r, "block_rows")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bc, err := queryInt(r, "block_cols")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if br <= 0 || bc <= 0 {
+		httpError(w, http.StatusBadRequest, "block dimensions must be positive")
+		return
+	}
+	writeJSON(w, map[string][]int{"counts": s.db.DensityAt(t, br, bc)})
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, s.db.UserRecords(user))
+}
+
+func (s *Server) handleDensitySeries(w http.ResponseWriter, r *http.Request) {
+	t0, err := queryInt(r, "t0")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t1, err := queryInt(r, "t1")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	br, err := queryInt(r, "block_rows")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bc, err := queryInt(r, "block_cols")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if br <= 0 || bc <= 0 {
+		httpError(w, http.StatusBadRequest, "block dimensions must be positive")
+		return
+	}
+	series, err := s.db.DensitySeries(t0, t1, br, bc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string][][]int{"series": series})
+}
+
+func (s *Server) handleExposure(w http.ResponseWriter, r *http.Request) {
+	t0, err := queryInt(r, "t0")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t1, err := queryInt(r, "t1")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	series, err := s.db.InfectedExposureSeries(t0, t1, s.mgr.InfectedCells())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, map[string][]int{"exposure": series})
+}
+
+func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+	window := 0
+	if r.URL.Query().Get("window") != "" {
+		var err error
+		if window, err = queryInt(r, "window"); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	census := s.db.CodeCensus(s.mgr.InfectedCells(), window)
+	out := make(map[string]int, len(census))
+	for code, n := range census {
+		out[string(code)] = n
+	}
+	writeJSON(w, out)
+}
+
+func queryInt(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", key, err)
+	}
+	return v, nil
+}

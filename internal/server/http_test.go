@@ -1,0 +1,235 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client, *geo.Grid, func()) {
+	t.Helper()
+	grid := geo.MustGrid(4, 4, 1)
+	mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(NewDB(grid), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, ts.Client())
+	return srv, client, grid, ts.Close
+}
+
+func TestHTTPReportAndRecords(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	if err := client.Report(1, 0, grid.Center(5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Report(1, 1, grid.Center(6), 1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := client.Records(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Cell != 5 || recs[1].Cell != 6 {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestHTTPPolicyFetch(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	p, err := client.Policy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epsilon != 1.0 || p.Version != 1 {
+		t.Errorf("policy = %+v", p)
+	}
+	if p.Graph.NumNodes() != grid.NumCells() {
+		t.Errorf("graph nodes = %d", p.Graph.NumNodes())
+	}
+	if !p.Graph.IsConnected() {
+		t.Error("baseline policy graph should be connected")
+	}
+}
+
+func TestHTTPInfectedFlowUpdatesPolicies(t *testing.T) {
+	_, client, _, done := newTestServer(t)
+	defer done()
+	// Two users exist (policies assigned lazily on first fetch).
+	if _, err := client.Policy(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Policy(1); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := client.MarkInfected([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 {
+		t.Errorf("changed = %v, want both users", changed)
+	}
+	p, err := client.Policy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != 2 {
+		t.Errorf("version = %d, want 2 after update", p.Version)
+	}
+	if p.Graph.Degree(5) != 0 {
+		t.Error("infected cell should be isolated in updated policy")
+	}
+}
+
+func TestHTTPStalePolicyVersionRejected(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	if _, err := client.Policy(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.MarkInfected([]int{3}); err != nil {
+		t.Fatal(err)
+	}
+	// Version 1 is now stale (current is 2).
+	if err := client.Report(0, 0, grid.Center(1), 1); err == nil {
+		t.Error("stale policy version should be rejected")
+	}
+	if err := client.Report(0, 0, grid.Center(1), 2); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+}
+
+func TestHTTPConsentRejection(t *testing.T) {
+	srv, client, grid, done := newTestServer(t)
+	defer done()
+	srv.mgr.Get(7)
+	srv.mgr.Consent(7, false)
+	if err := client.Report(7, 0, grid.Center(0), 0); err == nil {
+		t.Error("non-consenting user's report should be rejected")
+	}
+}
+
+func TestHTTPHealthCode(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	if _, err := client.MarkInfected([]int{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Report(2, 0, grid.Center(5), 0)
+	_ = client.Report(2, 1, grid.Center(6), 0)
+	code, err := client.HealthCode(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeRed {
+		t.Errorf("code = %v, want red", code)
+	}
+	green, err := client.HealthCode(99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if green != CodeGreen {
+		t.Errorf("code = %v, want green", green)
+	}
+}
+
+func TestHTTPDensity(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	_ = client.Report(0, 0, grid.Center(0), 0)
+	_ = client.Report(1, 0, grid.Center(1), 0)
+	counts, err := client.Density(0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 {
+		t.Errorf("density = %v", counts)
+	}
+	if _, err := client.Density(0, -1, 2); err == nil {
+		t.Error("bad block dims should error")
+	}
+}
+
+func TestHTTPAnalyticsEndpoints(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	_ = client.Report(0, 0, grid.Center(0), 0)
+	_ = client.Report(0, 1, grid.Center(5), 0)
+	_ = client.Report(1, 0, grid.Center(5), 0)
+
+	series, err := client.DensitySeries(0, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0][0] != 2 {
+		t.Errorf("t=0 region 0 count = %d, want 2", series[0][0])
+	}
+	if _, err := client.DensitySeries(1, 0, 2, 2); err == nil {
+		t.Error("inverted range should 400")
+	}
+	if _, err := client.DensitySeries(0, 1, 0, 2); err == nil {
+		t.Error("bad blocks should 400")
+	}
+
+	// Mark a cell infected, then query exposure and census.
+	if _, err := client.MarkInfected([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	exposure, err := client.Exposure(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exposure[0] != 1 || exposure[1] != 1 {
+		t.Errorf("exposure = %v, want [1 1]", exposure)
+	}
+	census, err := client.Census(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census[CodeYellow] != 2 {
+		t.Errorf("census = %v, want 2 yellow (one infected visit each)", census)
+	}
+	if _, err := client.Exposure(3, 1); err == nil {
+		t.Error("inverted exposure range should 400")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, client, _, done := newTestServer(t)
+	defer done()
+	// Missing params.
+	var out map[string]string
+	if err := client.get("/v1/healthcode", &out); err == nil {
+		t.Error("missing user should 400")
+	}
+	if err := client.get("/v1/policy?user=abc", &out); err == nil {
+		t.Error("bad user should 400")
+	}
+	// Bad JSON body.
+	resp, err := http.Post(client.base+"/v1/report", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty report body → %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Error("nil deps should error")
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// dbSnapshot is the JSON persistence format of the location database.
+type dbSnapshot struct {
+	Rows     int      `json:"rows"`
+	Cols     int      `json:"cols"`
+	CellSize float64  `json:"cell_size"`
+	Records  []Record `json:"records"`
+}
+
+// SaveJSON writes a snapshot of the database (grid shape + all records).
+func (db *DB) SaveJSON(w io.Writer) error {
+	db.mu.RLock()
+	snap := dbSnapshot{
+		Rows: db.grid.Rows, Cols: db.grid.Cols, CellSize: db.grid.CellSize,
+		Records: make([]Record, 0, db.n),
+	}
+	for _, rs := range db.recs {
+		snap.Records = append(snap.Records, rs...)
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadJSON reads a snapshot produced by SaveJSON. If grid is non-nil, the
+// snapshot's grid shape must match it; otherwise a grid is built from the
+// snapshot.
+func LoadJSON(r io.Reader, grid *geo.Grid) (*DB, error) {
+	var snap dbSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: decoding snapshot: %w", err)
+	}
+	if grid == nil {
+		g, err := geo.NewGrid(snap.Rows, snap.Cols, snap.CellSize)
+		if err != nil {
+			return nil, fmt.Errorf("server: snapshot grid: %w", err)
+		}
+		grid = g
+	} else if grid.Rows != snap.Rows || grid.Cols != snap.Cols {
+		return nil, fmt.Errorf("server: snapshot grid %dx%d does not match %dx%d",
+			snap.Rows, snap.Cols, grid.Rows, grid.Cols)
+	}
+	db := NewDB(grid)
+	for _, rec := range snap.Records {
+		if err := db.Insert(rec); err != nil {
+			return nil, fmt.Errorf("server: snapshot record %+v: %w", rec, err)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+func TestSaveLoadJSONRoundTrip(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	for u := 0; u < 5; u++ {
+		for ti := 0; ti < 10; ti++ {
+			if err := db.Insert(Record{User: u, T: ti, Point: grid.Center((u + ti) % 16), Cell: (u + ti) % 16, PolicyVersion: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("restored %d records, want %d", back.Len(), db.Len())
+	}
+	for u := 0; u < 5; u++ {
+		a, b := db.UserRecords(u), back.UserRecords(u)
+		if len(a) != len(b) {
+			t.Fatalf("user %d: %d vs %d records", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d record %d: %+v vs %+v", u, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadJSONWithoutGrid(t *testing.T) {
+	grid := geo.MustGrid(3, 5, 2)
+	db := NewDB(grid)
+	_ = db.Insert(Record{User: 1, T: 0, Cell: 7})
+	var buf bytes.Buffer
+	if err := db.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid().Rows != 3 || back.Grid().Cols != 5 || back.Grid().CellSize != 2 {
+		t.Errorf("restored grid = %+v", back.Grid())
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	grid := geo.MustGrid(2, 2, 1)
+	if _, err := LoadJSON(strings.NewReader("not json"), grid); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"rows":9,"cols":9,"cell_size":1,"records":[]}`), grid); err == nil {
+		t.Error("grid mismatch should error")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"rows":0,"cols":0,"cell_size":1,"records":[]}`), nil); err == nil {
+		t.Error("bad snapshot grid should error")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"rows":2,"cols":2,"cell_size":1,"records":[{"user":0,"t":0,"cell":99}]}`), nil); err == nil {
+		t.Error("bad record should error")
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// csvHeader is the column layout of the interchange format. Real Geolife
+// or Gowalla data converted to this layout can be loaded directly.
+var csvHeader = []string{"user", "t", "row", "col"}
+
+// WriteCSV serialises the dataset as "user,t,row,col" rows with a header.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, tr := range ds.Trajs {
+		for t, id := range tr.Cells {
+			c := ds.Grid.CellOf(id)
+			rec := []string{
+				strconv.Itoa(tr.User), strconv.Itoa(t),
+				strconv.Itoa(c.Row), strconv.Itoa(c.Col),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset in the WriteCSV layout onto the given grid.
+// Rows may arrive in any order; every user must cover the same contiguous
+// timestep range starting at 0.
+func ReadCSV(r io.Reader, grid *geo.Grid) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d = %q, want %q", i, header[i], want)
+		}
+	}
+	type key struct{ user, t int }
+	cells := make(map[key]int)
+	maxT := -1
+	users := make(map[int]bool)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		vals := make([]int, 4)
+		for i, f := range rec {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d column %s: %w", line, csvHeader[i], err)
+			}
+			vals[i] = v
+		}
+		user, t, row, col := vals[0], vals[1], vals[2], vals[3]
+		c := geo.Cell{Row: row, Col: col}
+		if !grid.Contains(c) {
+			return nil, fmt.Errorf("trace: line %d: cell %v outside %dx%d grid", line, c, grid.Rows, grid.Cols)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative timestep %d", line, t)
+		}
+		k := key{user, t}
+		if _, dup := cells[k]; dup {
+			return nil, fmt.Errorf("trace: line %d: duplicate (user %d, t %d)", line, user, t)
+		}
+		cells[k] = grid.ID(c)
+		users[user] = true
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if maxT < 0 {
+		return nil, fmt.Errorf("trace: empty dataset")
+	}
+	steps := maxT + 1
+	ids := make([]int, 0, len(users))
+	for u := range users {
+		ids = append(ids, u)
+	}
+	sort.Ints(ids)
+	ds := &Dataset{Grid: grid, Steps: steps, Trajs: make([]Trajectory, 0, len(ids))}
+	for _, u := range ids {
+		tr := Trajectory{User: u, Cells: make([]int, steps)}
+		for t := 0; t < steps; t++ {
+			id, ok := cells[key{u, t}]
+			if !ok {
+				return nil, fmt.Errorf("trace: user %d missing timestep %d", u, t)
+			}
+			tr.Cells[t] = id
+		}
+		ds.Trajs = append(ds.Trajs, tr)
+	}
+	return ds, ds.Validate()
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// FuzzReadCSV checks the CSV loader never panics on arbitrary input and
+// that everything it accepts is a valid dataset that round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("user,t,row,col\n0,0,0,0\n")
+	f.Add("user,t,row,col\n0,0,0,0\n0,1,1,1\n1,0,2,2\n1,1,2,3\n")
+	f.Add("user,t,row,col\n")
+	f.Add("not,a,header,x\n")
+	f.Add("user,t,row,col\n0,0,9,9\n")
+	f.Add("user,t,row,col\n0,0,0,0\n0,0,1,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		grid := geo.MustGrid(4, 4, 1)
+		ds, err := ReadCSV(strings.NewReader(data), grid)
+		if err != nil {
+			return
+		}
+		if verr := ds.Validate(); verr != nil {
+			t.Fatalf("accepted dataset fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, ds); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		back, rerr := ReadCSV(&buf, grid)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.NumUsers() != ds.NumUsers() || back.Steps != ds.Steps {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+)
+
+// GeoLifeConfig parameterises the GeoLife-like generator: dense,
+// continuous, GPS-style movement produced by a random-waypoint process
+// with home anchoring — the structure that matters to PGLP (spatially
+// correlated steps, heavy revisit mass around a home location).
+type GeoLifeConfig struct {
+	Users     int     // number of trajectories
+	Steps     int     // timesteps per trajectory
+	Seed      uint64  // RNG seed (per-user streams derived from it)
+	Speed     int     // max cells moved per step (≥1)
+	PauseProb float64 // probability of pausing after reaching a waypoint
+	HomeBias  float64 // probability the next waypoint is home
+}
+
+// DefaultGeoLife matches the scale of the paper's demo scenarios.
+func DefaultGeoLife() GeoLifeConfig {
+	return GeoLifeConfig{Users: 100, Steps: 96, Seed: 1, Speed: 2, PauseProb: 0.3, HomeBias: 0.4}
+}
+
+func (c GeoLifeConfig) validate() error {
+	if c.Users <= 0 || c.Steps <= 0 {
+		return fmt.Errorf("trace: users and steps must be positive, got %d users %d steps", c.Users, c.Steps)
+	}
+	if c.Speed < 1 {
+		return fmt.Errorf("trace: speed must be ≥ 1, got %d", c.Speed)
+	}
+	if c.PauseProb < 0 || c.PauseProb > 1 || c.HomeBias < 0 || c.HomeBias > 1 {
+		return fmt.Errorf("trace: probabilities must be in [0,1]")
+	}
+	return nil
+}
+
+// GenerateGeoLife produces a GeoLife-like dataset on the grid.
+func GenerateGeoLife(grid *geo.Grid, cfg GeoLifeConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Grid: grid, Steps: cfg.Steps, Trajs: make([]Trajectory, cfg.Users)}
+	n := grid.NumCells()
+	for u := 0; u < cfg.Users; u++ {
+		rng := dp.Derive(cfg.Seed, uint64(u)+1)
+		home := rng.IntN(n)
+		cur := home
+		waypoint := home
+		cells := make([]int, cfg.Steps)
+		for t := 0; t < cfg.Steps; t++ {
+			if cur == waypoint {
+				if rng.Float64() >= cfg.PauseProb {
+					if rng.Float64() < cfg.HomeBias {
+						waypoint = home
+					} else {
+						waypoint = rng.IntN(n)
+					}
+				}
+			}
+			for step := 0; step < cfg.Speed && cur != waypoint; step++ {
+				cur = stepToward(grid, cur, waypoint)
+			}
+			cells[t] = cur
+		}
+		ds.Trajs[u] = Trajectory{User: u, Cells: cells}
+	}
+	return ds, nil
+}
+
+// stepToward moves one 8-neighborhood step from cur toward dst.
+func stepToward(grid *geo.Grid, cur, dst int) int {
+	c, d := grid.CellOf(cur), grid.CellOf(dst)
+	row, col := c.Row, c.Col
+	switch {
+	case d.Row > row:
+		row++
+	case d.Row < row:
+		row--
+	}
+	switch {
+	case d.Col > col:
+		col++
+	case d.Col < col:
+		col--
+	}
+	return grid.ID(geo.Cell{Row: row, Col: col})
+}

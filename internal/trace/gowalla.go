@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+)
+
+// GowallaConfig parameterises the Gowalla-like generator: sparse check-in
+// behaviour over a venue set with Zipf-distributed popularity and strong
+// per-user revisit habits — the location-based-social-network shape of the
+// paper's second demo dataset.
+type GowallaConfig struct {
+	Users       int     // number of users
+	Steps       int     // check-ins per user
+	Venues      int     // number of distinct venues (≤ grid cells)
+	ZipfS       float64 // Zipf exponent for venue popularity (> 0)
+	Favorites   int     // size of each user's habitual venue set
+	RevisitProb float64 // probability a check-in is at a favorite venue
+	Seed        uint64
+}
+
+// DefaultGowalla matches the scale of the paper's demo scenarios.
+func DefaultGowalla() GowallaConfig {
+	return GowallaConfig{Users: 100, Steps: 48, Venues: 64, ZipfS: 1.0, Favorites: 5, RevisitProb: 0.7, Seed: 2}
+}
+
+func (c GowallaConfig) validate(grid *geo.Grid) error {
+	if c.Users <= 0 || c.Steps <= 0 {
+		return fmt.Errorf("trace: users and steps must be positive")
+	}
+	if c.Venues <= 0 || c.Venues > grid.NumCells() {
+		return fmt.Errorf("trace: venues must be in [1, %d], got %d", grid.NumCells(), c.Venues)
+	}
+	if c.ZipfS <= 0 {
+		return fmt.Errorf("trace: zipf exponent must be positive, got %v", c.ZipfS)
+	}
+	if c.Favorites <= 0 || c.Favorites > c.Venues {
+		return fmt.Errorf("trace: favorites must be in [1, venues]")
+	}
+	if c.RevisitProb < 0 || c.RevisitProb > 1 {
+		return fmt.Errorf("trace: revisit probability must be in [0,1]")
+	}
+	return nil
+}
+
+// GenerateGowalla produces a Gowalla-like check-in dataset on the grid.
+func GenerateGowalla(grid *geo.Grid, cfg GowallaConfig) (*Dataset, error) {
+	if err := cfg.validate(grid); err != nil {
+		return nil, err
+	}
+	setup := dp.NewRand(cfg.Seed)
+	// Venue cells: a random subset of the grid.
+	venueCells := setup.Perm(grid.NumCells())[:cfg.Venues]
+	// Zipf popularity over venues.
+	popCum := zipfCumulative(cfg.Venues, cfg.ZipfS)
+
+	ds := &Dataset{Grid: grid, Steps: cfg.Steps, Trajs: make([]Trajectory, cfg.Users)}
+	for u := 0; u < cfg.Users; u++ {
+		rng := dp.Derive(cfg.Seed, uint64(u)+1)
+		// Favorites drawn by popularity (without replacement).
+		favs := drawDistinct(rng, popCum, cfg.Favorites)
+		cells := make([]int, cfg.Steps)
+		for t := 0; t < cfg.Steps; t++ {
+			var venue int
+			if rng.Float64() < cfg.RevisitProb {
+				venue = favs[rng.IntN(len(favs))]
+			} else {
+				venue = sampleCumulative(rng, popCum)
+			}
+			cells[t] = venueCells[venue]
+		}
+		ds.Trajs[u] = Trajectory{User: u, Cells: cells}
+	}
+	return ds, nil
+}
+
+// zipfCumulative returns the cumulative distribution of a Zipf law
+// p(i) ∝ (i+1)^-s over n items.
+func zipfCumulative(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1
+	return cum
+}
+
+// sampleCumulative draws an index from a cumulative distribution.
+func sampleCumulative(rng *rand.Rand, cum []float64) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}
+
+// drawDistinct draws k distinct indices by popularity.
+func drawDistinct(rng *rand.Rand, cum []float64, k int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := sampleCumulative(rng, cum)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

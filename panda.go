@@ -1,0 +1,383 @@
+// Package panda is a policy-aware location-privacy toolkit for epidemic
+// surveillance — an open-source implementation of the system demonstrated
+// in "PANDA: Policy-aware Location Privacy for Epidemic Surveillance"
+// (Cao, Takagi, Xiao, Xiong, Yoshikawa; PVLDB 12(12), 2020) and the PGLP
+// (Policy Graph-based Location Privacy) mechanisms it builds on.
+//
+// The package exposes the full pipeline of the paper's Fig. 3:
+//
+//   - location policy graphs (which places must be indistinguishable from
+//     which), including the paper's predefined graphs G1/Ga/Gb/Gc and
+//     custom graphs;
+//   - PGLP release mechanisms (graph-exponential, graph-calibrated planar
+//     Laplace, and the policy-aware planar isotropic mechanism) plus the
+//     Geo-Indistinguishability baseline;
+//   - the surveillance apps: location monitoring (regional densities and
+//     flows), the health-code service, and contact tracing with dynamic
+//     policy updates;
+//   - a privacy auditor (Bayesian adversary expected error).
+//
+// Quick start:
+//
+//	sys, _ := panda.NewSystem(panda.Options{Rows: 16, Cols: 16, CellSize: 1, Epsilon: 1})
+//	alice, _ := sys.NewUser(1, panda.GEM, 7)
+//	release, _ := alice.Report(0, 42) // timestep 0, true cell 42
+//	fmt.Println(release.Point, release.Cell)
+package panda
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+
+	"github.com/pglp/panda/internal/adversary"
+	"github.com/pglp/panda/internal/core"
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/mechanism"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/server"
+)
+
+// MechanismKind selects a PGLP release mechanism family.
+type MechanismKind string
+
+// Mechanism families (see internal/mechanism for the constructions and
+// privacy proofs).
+const (
+	GEM    MechanismKind = "gem"    // graph exponential mechanism (discrete)
+	GEME   MechanismKind = "geme"   // graph exponential with Euclidean scoring
+	GLM    MechanismKind = "glm"    // graph-calibrated planar Laplace
+	PIM    MechanismKind = "pim"    // planar isotropic mechanism (policy-aware)
+	KNorm  MechanismKind = "knorm"  // PIM without the isotropic transform
+	GeoInd MechanismKind = "geoind" // geo-indistinguishability baseline
+)
+
+// Point is a released plane location.
+type Point = geo.Point
+
+// HealthCode is the certification level of the health-code service.
+type HealthCode = server.HealthCode
+
+// Health codes, ordered by increasing risk.
+const (
+	CodeGreen  = server.CodeGreen
+	CodeYellow = server.CodeYellow
+	CodeRed    = server.CodeRed
+)
+
+// Options configures a surveillance system.
+type Options struct {
+	// Rows, Cols, CellSize define the map grid; locations are cell IDs in
+	// [0, Rows*Cols).
+	Rows, Cols int
+	CellSize   float64
+	// Epsilon is the default per-release privacy level.
+	Epsilon float64
+	// PolicyGraph is the default policy; nil selects the grid-8 baseline
+	// G1 (equivalent to ε-Geo-Indistinguishability by Theorem 2.1).
+	PolicyGraph *PolicyGraph
+	// WindowSteps and WindowEpsilon, when both positive, enforce a
+	// sliding-window privacy budget per user: the ε spent on releases
+	// within any WindowSteps consecutive timesteps may not exceed
+	// WindowEpsilon (sequential composition over "the past two weeks").
+	WindowSteps   int
+	WindowEpsilon float64
+}
+
+// System is the server side of PANDA: the policy configuration module, the
+// released-location database, and the surveillance apps.
+type System struct {
+	grid      *geo.Grid
+	mgr       *policy.Manager
+	db        *server.DB
+	srv       *server.Server
+	eps       float64
+	winSteps  int
+	winBudget float64
+}
+
+// NewSystem creates a surveillance system.
+func NewSystem(o Options) (*System, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	g := policy.Baseline(grid)
+	if o.PolicyGraph != nil {
+		g = o.PolicyGraph.g
+	}
+	mgr, err := policy.NewManager(grid, g, o.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	db := server.NewDB(grid)
+	srv, err := server.NewServer(db, mgr)
+	if err != nil {
+		return nil, err
+	}
+	if (o.WindowSteps > 0) != (o.WindowEpsilon > 0) {
+		return nil, fmt.Errorf("panda: WindowSteps and WindowEpsilon must be set together")
+	}
+	return &System{
+		grid: grid, mgr: mgr, db: db, srv: srv, eps: o.Epsilon,
+		winSteps: o.WindowSteps, winBudget: o.WindowEpsilon,
+	}, nil
+}
+
+// NumCells returns the number of locations on the map.
+func (s *System) NumCells() int { return s.grid.NumCells() }
+
+// CellCenter returns the plane coordinates of a cell's center.
+func (s *System) CellCenter(cell int) Point { return s.grid.Center(cell) }
+
+// SnapToCell maps a plane point to its containing cell.
+func (s *System) SnapToCell(p Point) int { return s.grid.Snap(p) }
+
+// Handler returns the HTTP API of the server (report, policy, infected,
+// healthcode, density, records endpoints); mount it with
+// http.ListenAndServe.
+func (s *System) Handler() http.Handler { return s.srv.Handler() }
+
+// MarkInfected publishes infected (disclosable) locations; every user's
+// policy is updated to the contact-tracing variant Gc and their policy
+// version bumps, signalling clients to re-send history. Returns affected
+// user IDs.
+func (s *System) MarkInfected(cells []int) []int { return s.mgr.MarkInfected(cells) }
+
+// InfectedCells returns the accumulated disclosable locations.
+func (s *System) InfectedCells() []int { return s.mgr.InfectedCells() }
+
+// DensityAt returns released-location counts per coarse region at
+// timestep t — the location-monitoring aggregate.
+func (s *System) DensityAt(t, blockRows, blockCols int) []int {
+	return s.db.DensityAt(t, blockRows, blockCols)
+}
+
+// MovementMatrix returns region-to-region flows between two timesteps.
+func (s *System) MovementMatrix(t1, t2, blockRows, blockCols int) [][]int {
+	return s.db.MovementMatrix(t1, t2, blockRows, blockCols)
+}
+
+// HealthCodeFor certifies a user from their released locations within the
+// last `window` timesteps (≤0 = all history).
+func (s *System) HealthCodeFor(user, window int) HealthCode {
+	return s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window)
+}
+
+// PolicyVersion returns a user's current policy version.
+func (s *System) PolicyVersion(user int) int { return s.mgr.Version(user) }
+
+// DensitySeries returns per-region counts for each timestep in [t0, t1].
+func (s *System) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
+	return s.db.DensitySeries(t0, t1, blockRows, blockCols)
+}
+
+// ExposureSeries returns, per timestep in [t0, t1], how many users
+// reported a location in an infected place — the incidence proxy computed
+// on released data only.
+func (s *System) ExposureSeries(t0, t1 int) ([]int, error) {
+	return s.db.InfectedExposureSeries(t0, t1, s.mgr.InfectedCells())
+}
+
+// HealthCodeCensus certifies every known user and tallies the codes.
+func (s *System) HealthCodeCensus(window int) map[HealthCode]int {
+	return s.db.CodeCensus(s.mgr.InfectedCells(), window)
+}
+
+// Records returns a user's stored releases in time order.
+func (s *System) Records(user int) []server.Record { return s.db.UserRecords(user) }
+
+// Release is one released location.
+type Release struct {
+	Point Point
+	Cell  int // snapped cell
+	T     int
+}
+
+// User is the client side: it holds the user's mechanism bound to their
+// current policy and releases perturbed locations into the system.
+type User struct {
+	sys     *System
+	id      int
+	kind    MechanismKind
+	rel     *core.Releaser
+	ver     int
+	rand    *rand.Rand
+	rngSeed uint64
+	window  *dp.WindowAccountant // nil when no window budget configured
+}
+
+// NewUser registers a user with the system under the given mechanism
+// family and RNG seed, bound to the user's current policy.
+func (s *System) NewUser(id int, kind MechanismKind, seed uint64) (*User, error) {
+	u := &User{sys: s, id: id, kind: kind, rngSeed: seed}
+	if err := u.refreshPolicy(); err != nil {
+		return nil, err
+	}
+	if s.winSteps > 0 {
+		w, err := dp.NewWindowAccountant(s.winSteps, s.winBudget)
+		if err != nil {
+			return nil, err
+		}
+		u.window = w
+	}
+	u.rand = dp.Derive(seed, uint64(id)+1)
+	return u, nil
+}
+
+func (u *User) refreshPolicy() error {
+	up := u.sys.mgr.Get(u.id)
+	if !up.Consented {
+		return fmt.Errorf("panda: user %d has rejected the current policy", u.id)
+	}
+	pol, err := core.NewPolicy(up.Epsilon, up.Graph)
+	if err != nil {
+		return err
+	}
+	rel, err := core.NewReleaser(u.sys.grid, pol, mechanism.Kind(u.kind))
+	if err != nil {
+		return err
+	}
+	u.rel = rel
+	u.ver = up.Version
+	return nil
+}
+
+// Report releases the user's true cell at timestep t under their current
+// policy and stores the result in the system's database. If the policy
+// changed since the last report (e.g. an infection update), the user's
+// mechanism is rebuilt first.
+func (u *User) Report(t, trueCell int) (Release, error) {
+	if u.sys.mgr.Version(u.id) != u.ver {
+		if err := u.refreshPolicy(); err != nil {
+			return Release{}, err
+		}
+	}
+	if u.window != nil {
+		if err := u.window.Spend(t, u.rel.Policy().Epsilon); err != nil {
+			return Release{}, fmt.Errorf("panda: user %d: %w", u.id, err)
+		}
+	}
+	p, cell, err := u.rel.ReleaseCell(u.rand, trueCell)
+	if err != nil {
+		return Release{}, err
+	}
+	rec := server.Record{User: u.id, T: t, Point: p, Cell: cell, PolicyVersion: u.ver}
+	if err := u.sys.db.Insert(rec); err != nil {
+		return Release{}, err
+	}
+	return Release{Point: p, Cell: cell, T: t}, nil
+}
+
+// ReportHistory re-sends a window of true cells (one release per step),
+// as the contact-tracing protocol requires after a policy update.
+func (u *User) ReportHistory(fromT int, cells []int) ([]Release, error) {
+	out := make([]Release, 0, len(cells))
+	for i, c := range cells {
+		r, err := u.Report(fromT+i, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PolicyVersion returns the policy version the user's mechanism is bound to.
+func (u *User) PolicyVersion() int { return u.ver }
+
+// AuditPrivacy runs the Bayesian inference attack of Shokri et al. against
+// the user's current mechanism with a uniform prior and returns the
+// adversary's expected error in plane units (higher = more private).
+func (u *User) AuditPrivacy(rounds int) (float64, error) {
+	adv, err := adversary.NewBayesian(u.sys.grid, nil)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := adv.ExpectedError(u.rel.Mechanism(), adversary.EstimatorMedoid, rounds, dp.NewRand(u.rngSeed^0xa0d17))
+	if err != nil {
+		return 0, err
+	}
+	return rep.MeanError, nil
+}
+
+// PolicyGraph is a public handle on a location policy graph.
+type PolicyGraph struct {
+	g *policygraph.Graph
+}
+
+// NumEdges returns the number of indistinguishability constraints.
+func (p *PolicyGraph) NumEdges() int { return p.g.NumEdges() }
+
+// IsolatedCells returns the locations the policy allows to disclose exactly.
+func (p *PolicyGraph) IsolatedCells() []int { return p.g.IsolatedNodes() }
+
+// BaselinePolicy returns G1: every cell indistinguishable from its eight
+// grid neighbors (implies ε-Geo-Indistinguishability, Theorem 2.1).
+func BaselinePolicy(o Options) (*PolicyGraph, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	return &PolicyGraph{g: policy.Baseline(grid)}, nil
+}
+
+// MonitoringPolicy returns Ga: indistinguishability inside blockSize×
+// blockSize coarse areas, areas mutually distinguishable.
+func MonitoringPolicy(o Options, blockSize int) (*PolicyGraph, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("panda: block size must be positive, got %d", blockSize)
+	}
+	return &PolicyGraph{g: policy.ForMonitoring(grid, blockSize, blockSize)}, nil
+}
+
+// ContactTracingPolicy returns Gc: the base policy with the given infected
+// locations made disclosable.
+func ContactTracingPolicy(base *PolicyGraph, infected []int) *PolicyGraph {
+	return &PolicyGraph{g: policy.ForContactTracing(base.g, infected)}
+}
+
+// VerifyMechanism audits a mechanism against a policy: it probes the
+// analytic likelihood ratio on every policy edge and reports whether
+// {ε,G}-location privacy held on all probes, together with the largest
+// observed ratio normalised by e^ε (≤ 1 means compliant). This is the
+// executable form of the paper's Definition 2.4.
+func VerifyMechanism(o Options, pg *PolicyGraph, eps float64, kind MechanismKind, probesPerEdge int, seed uint64) (bool, float64, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return false, 0, err
+	}
+	pol, err := core.NewPolicy(eps, pg.g)
+	if err != nil {
+		return false, 0, err
+	}
+	m, err := mechanism.New(mechanism.Kind(kind), grid, pg.g, eps)
+	if err != nil {
+		return false, 0, err
+	}
+	rep := core.VerifyPGLP(m, pol, grid, probesPerEdge, dp.NewRand(seed))
+	return rep.Satisfied, rep.MaxNormalizedRatio, nil
+}
+
+// CustomPolicy builds a policy graph from an explicit edge list over
+// n = Rows*Cols cells.
+func CustomPolicy(o Options, edges [][2]int) (*PolicyGraph, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	g := policygraph.New(grid.NumCells())
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= g.NumNodes() || e[1] < 0 || e[1] >= g.NumNodes() || e[0] == e[1] {
+			return nil, fmt.Errorf("panda: invalid policy edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return &PolicyGraph{g: g}, nil
+}

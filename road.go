@@ -1,0 +1,58 @@
+package panda
+
+import (
+	"github.com/pglp/panda/internal/dp"
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/roadnet"
+)
+
+// RoadNetwork is a street layout on the grid: only street cells are valid
+// locations and indistinguishability follows the road graph — the
+// Geo-Graph-Indistinguishability setting (paper ref [17]) realised as a
+// PGLP policy.
+type RoadNetwork struct {
+	rm *roadnet.RoadMap
+}
+
+// ManhattanRoads builds a Manhattan-style street layout: every spacing-th
+// row and column is a street.
+func ManhattanRoads(o Options, spacing int) (*RoadNetwork, error) {
+	grid, err := geo.NewGrid(o.Rows, o.Cols, o.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := roadnet.Manhattan(grid, spacing)
+	if err != nil {
+		return nil, err
+	}
+	return &RoadNetwork{rm: rm}, nil
+}
+
+// Policy returns the road-adjacency policy graph: releasing under it with
+// any PGLP mechanism yields ε·d_road indistinguishability and never
+// releases a building cell.
+func (r *RoadNetwork) Policy() *PolicyGraph {
+	return &PolicyGraph{g: r.rm.PolicyGraph()}
+}
+
+// IsRoad reports whether a cell is a street.
+func (r *RoadNetwork) IsRoad(cell int) bool { return r.rm.IsRoad(cell) }
+
+// Roads returns the street cell IDs.
+func (r *RoadNetwork) Roads() []int {
+	out := make([]int, len(r.rm.Roads()))
+	copy(out, r.rm.Roads())
+	return out
+}
+
+// RoadDistance returns the hop distance along the network (-1 when
+// off-road or disconnected).
+func (r *RoadNetwork) RoadDistance(a, b int) int { return r.rm.RoadDistance(a, b) }
+
+// NearestRoad projects a cell onto the closest street cell.
+func (r *RoadNetwork) NearestRoad(cell int) int { return r.rm.NearestRoad(cell) }
+
+// RandomWalk generates a road-constrained trajectory.
+func (r *RoadNetwork) RandomWalk(steps int, seed uint64) ([]int, error) {
+	return r.rm.RandomWalk(dp.NewRand(seed), steps)
+}

@@ -1,0 +1,63 @@
+package panda
+
+import (
+	"github.com/pglp/panda/internal/epidemic"
+)
+
+// SEIRModel exposes the compartmental transmission model the paper's
+// epidemic-analysis app fits (§3.1, "a predictive disease transmission
+// model such as the SEIR model"). R0 = Beta/Gamma.
+type SEIRModel struct {
+	Beta  float64 // transmission rate
+	Sigma float64 // incubation rate (1/latent period)
+	Gamma float64 // recovery rate (1/infectious period)
+	N     float64 // population size
+}
+
+// R0 returns the basic reproduction number β/γ.
+func (m SEIRModel) R0() float64 { return m.Beta / m.Gamma }
+
+// SEIRPoint is one integration step of the model.
+type SEIRPoint struct {
+	S, E, I, R float64
+}
+
+// Simulate integrates the model with RK4 for the given number of steps of
+// size dt, starting from init, and returns steps+1 points.
+func (m SEIRModel) Simulate(init SEIRPoint, steps int, dt float64) ([]SEIRPoint, error) {
+	states, err := epidemic.SimulateSEIR(epidemic.SEIRParams{
+		Beta: m.Beta, Sigma: m.Sigma, Gamma: m.Gamma, N: m.N,
+	}, epidemic.SEIRState{S: init.S, E: init.E, I: init.I, R: init.R}, steps, dt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SEIRPoint, len(states))
+	for i, s := range states {
+		out[i] = SEIRPoint{S: s.S, E: s.E, I: s.I, R: s.R}
+	}
+	return out, nil
+}
+
+// FitSEIR recovers the transmission rate β — and hence R0 — from an
+// observed incidence series (new cases per step) with known σ, γ, N and
+// initial state, by golden-section least squares over [betaLo, betaHi].
+// Feed it incidence computed from perturbed location data to reproduce
+// the paper's transmission-model accuracy evaluation.
+func FitSEIR(incidence []float64, sigma, gamma, n float64, init SEIRPoint, dt, betaLo, betaHi float64) (SEIRModel, error) {
+	beta, err := epidemic.FitSEIRBeta(incidence, sigma, gamma, n,
+		epidemic.SEIRState{S: init.S, E: init.E, I: init.I, R: init.R}, dt, betaLo, betaHi)
+	if err != nil {
+		return SEIRModel{}, err
+	}
+	return SEIRModel{Beta: beta, Sigma: sigma, Gamma: gamma, N: n}, nil
+}
+
+// IncidenceOf converts an outbreak's integer incidence counts to the
+// float series FitSEIR consumes.
+func IncidenceOf(o *OutbreakResult) []float64 {
+	out := make([]float64, len(o.Incidence))
+	for i, v := range o.Incidence {
+		out[i] = float64(v)
+	}
+	return out
+}

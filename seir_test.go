@@ -1,0 +1,59 @@
+package panda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSEIRModelSimulateAndR0(t *testing.T) {
+	m := SEIRModel{Beta: 0.4, Sigma: 0.25, Gamma: 0.1, N: 1000}
+	if m.R0() != 4 {
+		t.Errorf("R0 = %v", m.R0())
+	}
+	pts, err := m.Simulate(SEIRPoint{S: 990, I: 10}, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 201 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.S+p.E+p.I+p.R-1000) > 1e-6 {
+			t.Fatal("population not conserved")
+		}
+	}
+	if _, err := m.Simulate(SEIRPoint{}, 0, 1); err == nil {
+		t.Error("zero steps should error")
+	}
+}
+
+func TestFitSEIRRoundTrip(t *testing.T) {
+	truth := SEIRModel{Beta: 0.3, Sigma: 0.2, Gamma: 0.12, N: 5000}
+	init := SEIRPoint{S: 4950, E: 20, I: 30}
+	pts, err := truth.Simulate(init, 250, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incidence := make([]float64, len(pts))
+	for i, p := range pts {
+		incidence[i] = truth.Sigma * p.E * 0.5
+	}
+	fitted, err := FitSEIR(incidence, truth.Sigma, truth.Gamma, truth.N, init, 0.5, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitted.Beta-truth.Beta)/truth.Beta > 0.03 {
+		t.Errorf("fitted β = %v, want ≈%v", fitted.Beta, truth.Beta)
+	}
+	if _, err := FitSEIR(nil, 0.2, 0.1, 100, init, 1, 0, 1); err == nil {
+		t.Error("empty incidence should error")
+	}
+}
+
+func TestIncidenceOf(t *testing.T) {
+	o := &OutbreakResult{Incidence: []int{0, 2, 5}}
+	inc := IncidenceOf(o)
+	if len(inc) != 3 || inc[1] != 2 || inc[2] != 5 {
+		t.Errorf("incidence = %v", inc)
+	}
+}
