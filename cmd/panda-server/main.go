@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
@@ -32,6 +33,7 @@ func main() {
 		eps    = flag.Float64("eps", 1.0, "default per-release epsilon")
 		polFlg = flag.String("policy", "baseline", "default policy: baseline|monitoring|analysis")
 		block  = flag.Int("block", 4, "block side for monitoring/analysis policies")
+		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "lock shards for the record store (1 = single lock)")
 	)
 	flag.Parse()
 
@@ -57,13 +59,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
 		os.Exit(2)
 	}
-	srv, err := server.NewServer(server.NewDB(grid), mgr)
+	srv, err := server.NewServer(server.NewShardedDB(grid, *shards), mgr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
 		os.Exit(2)
 	}
-	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, listening on %s",
-		*rows, *cols, *polFlg, g.NumEdges(), *eps, *addr)
+	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, store shards=%d, serving /v1+/v2 on %s",
+		*rows, *cols, *polFlg, g.NumEdges(), *eps, *shards, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatalf("panda-server: %v", err)
 	}

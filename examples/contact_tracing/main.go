@@ -57,10 +57,14 @@ func main() {
 		}
 		cells := world.Cells(u)
 		from := steps - window
-		if _, err := h.ReportHistory(from, cells[from:]); err != nil {
+		// The whole-history re-send goes through the batch path: one
+		// storage round trip per user instead of one per timestep.
+		if _, err := h.ReportBatch(from, cells[from:]); err != nil {
 			log.Fatal(err)
 		}
-		code := sys.HealthCodeFor(u, window)
+		// The health-code window is anchored at the epidemic's current
+		// clock (the last simulated step), not each user's own last report.
+		code := sys.HealthCodeFor(u, window, steps-1)
 		codes[code] = append(codes[code], u)
 	}
 	fmt.Printf("health codes: %d green, %d yellow, %d red\n",

@@ -1,0 +1,3 @@
+module github.com/pglp/panda
+
+go 1.24.0

@@ -9,6 +9,7 @@ import (
 	"github.com/pglp/panda/internal/mechanism"
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/wire"
 )
 
 // RunE7 exercises the end-to-end system pipeline of Figs. 1/3: clients
@@ -57,20 +58,23 @@ func RunE7(cfg Config) (*Table, error) {
 		Columns: []string{"stage", "ops", "total_ms", "ops_per_sec"},
 	}
 
-	// Stage 1: release + report.
+	// Stage 1: release + report (one /v2 batch per user; the client
+	// negotiates policy versions automatically).
 	reports := 0
 	start := time.Now()
 	for ui, tr := range ds.Trajs {
 		rng := dp.Derive(cfg.Seed^0xe7, uint64(ui)+1)
+		var batch []wire.Release
 		for t := 0; t < ds.Steps; t += 4 { // thin the stream to keep E7 fast
 			z, err := rel.Release(rng, tr.Cells[t])
 			if err != nil {
 				return nil, err
 			}
-			if err := client.Report(tr.User, t, z, 0); err != nil {
-				return nil, err
-			}
+			batch = append(batch, wire.Release{T: t, X: z.X, Y: z.Y})
 			reports++
+		}
+		if _, err := client.ReportBatch(tr.User, batch); err != nil {
+			return nil, err
 		}
 	}
 	reportDur := time.Since(start)
@@ -98,7 +102,7 @@ func RunE7(cfg Config) (*Table, error) {
 	}
 	codes := 0
 	for _, tr := range ds.Trajs {
-		if _, err := client.HealthCode(tr.User, cfg.Window); err != nil {
+		if _, err := client.HealthCode(tr.User, cfg.Window, -1); err != nil {
 			return nil, err
 		}
 		codes++

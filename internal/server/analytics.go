@@ -67,11 +67,16 @@ func (db *DB) TopRegions(t, blockRows, blockCols, k int) [][2]int {
 }
 
 // CodeCensus certifies every known user and tallies the health codes —
-// the population-level view of the health-code service.
-func (db *DB) CodeCensus(infected []int, window int) map[HealthCode]int {
+// the population-level view of the health-code service. The window is
+// anchored at `now` (negative = the database's latest timestep) so every
+// user is certified against the same clock.
+func (db *DB) CodeCensus(infected []int, window, now int) map[HealthCode]int {
+	if now < 0 {
+		now = db.MaxT()
+	}
 	out := map[HealthCode]int{CodeGreen: 0, CodeYellow: 0, CodeRed: 0}
 	for _, u := range db.Users() {
-		out[db.HealthCodeFor(u, infected, window)]++
+		out[db.HealthCodeFor(u, infected, window, now)]++
 	}
 	return out
 }

@@ -77,7 +77,7 @@ func TestTopRegions(t *testing.T) {
 
 func TestCodeCensus(t *testing.T) {
 	db, _ := analyticsDB(t)
-	census := db.CodeCensus([]int{5}, 0)
+	census := db.CodeCensus([]int{5}, 0, -1)
 	if census[CodeRed] != 1 { // user 2: two visits to cell 5
 		t.Errorf("census = %v, want 1 red", census)
 	}

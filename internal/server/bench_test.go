@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// benchReleases is the contact-tracing re-send scenario size: one user's
+// whole history of 10k releases.
+const benchReleases = 10_000
+
+func newBenchServer(b *testing.B, shards int) (*Client, *geo.Grid, func()) {
+	b.Helper()
+	grid := geo.MustGrid(32, 32, 1)
+	mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(NewShardedDB(grid, shards), mgr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return NewClient(ts.URL, ts.Client()), grid, ts.Close
+}
+
+// BenchmarkV1SequentialReports ingests 10k releases as 10k individual
+// POST /v1/report round trips — the legacy re-send path.
+func BenchmarkV1SequentialReports(b *testing.B) {
+	client, grid, done := newBenchServer(b, 1)
+	defer done()
+	body := make([]string, benchReleases)
+	for i := range body {
+		p := grid.Center(i % grid.NumCells())
+		body[i] = fmt.Sprintf(`{"user":1,"t":%d,"x":%v,"y":%v}`, i, p.X, p.Y)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchReleases; j++ {
+			resp, err := client.hc.Post(client.base+"/v1/report", "application/json",
+				strings.NewReader(body[j]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 204 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	}
+	b.ReportMetric(float64(benchReleases*b.N)/b.Elapsed().Seconds(), "releases/sec")
+}
+
+// BenchmarkV2BatchReports ingests the same 10k releases as one
+// POST /v2/reports batch — the whole-history re-send in one round trip.
+func BenchmarkV2BatchReports(b *testing.B) {
+	client, grid, done := newBenchServer(b, 1)
+	defer done()
+	releases := make([]wire.Release, benchReleases)
+	for i := range releases {
+		p := grid.Center(i % grid.NumCells())
+		releases[i] = wire.Release{T: i, X: p.X, Y: p.Y}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ReportBatch(1, releases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchReleases*b.N)/b.Elapsed().Seconds(), "releases/sec")
+}
+
+// BenchmarkMemStoreInsertParallel and the sharded variant measure raw
+// concurrent ingestion with GOMAXPROCS writers, each writing its own
+// user stream — the contention the sharded store removes.
+func BenchmarkMemStoreInsertParallel(b *testing.B)     { benchStoreParallel(b, NewMemStore()) }
+func BenchmarkShardedStoreInsertParallel(b *testing.B) { benchStoreParallel(b, NewShardedStore(32)) }
+
+func benchStoreParallel(b *testing.B, s Store) {
+	var nextUser atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		user := int(nextUser.Add(1))
+		t := 0
+		for pb.Next() {
+			s.Insert(Record{User: user, T: t, Cell: t % 1024})
+			t++
+		}
+	})
+}

@@ -6,16 +6,26 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sync"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/server/wire"
 )
 
-// Client talks to a PANDA server over HTTP; it plays the role of the
-// mobile app (the paper's prototype).
+// Client is a typed client of the /v2 service API; it plays the role of
+// the mobile app (the paper's prototype). It caches each user's policy
+// and renegotiates automatically: when the server answers 409
+// stale_policy it ships the current policy inline, the client adopts it
+// and retries the report once — the paper's dynamic-policy update
+// without a second round trip.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	mu       sync.Mutex
+	policies map[int]ClientPolicy // last policy seen per user
 }
 
 // NewClient creates a client for the given base URL (e.g.
@@ -24,7 +34,27 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	return &Client{base: base, hc: httpClient, policies: make(map[int]ClientPolicy)}
+}
+
+// APIError is a decoded /v2 error envelope. On CodeStalePolicy, Policy
+// carries the server's current policy for the user.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable wire code
+	Message string
+	Policy  *wire.Policy // inline renegotiation payload, if any
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server client: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// IsStalePolicy reports whether err is a stale-policy renegotiation
+// response.
+func IsStalePolicy(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == wire.CodeStalePolicy
 }
 
 func (c *Client) post(path string, body, out any) error {
@@ -51,14 +81,19 @@ func (c *Client) get(path string, out any) error {
 
 func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// Generous cap: a stale_policy envelope carries a whole policy
+		// graph inline, which on a large grid runs to many megabytes —
+		// truncating it would silently break renegotiation.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		var e wire.Error
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server client: %s: %s", resp.Status, e.Error)
+			code := e.Code
+			if code == "" {
+				code = "unknown" // /v1 envelopes carry no code
+			}
+			return &APIError{Status: resp.StatusCode, Code: code, Message: e.Error, Policy: e.Policy}
 		}
-		return fmt.Errorf("server client: %s", resp.Status)
+		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
 	}
 	if out == nil {
 		return nil
@@ -69,13 +104,6 @@ func decodeResponse(resp *http.Response, out any) error {
 	return nil
 }
 
-// Report sends a released location.
-func (c *Client) Report(user, t int, p geo.Point, policyVersion int) error {
-	return c.post("/v1/report", reportRequest{
-		User: user, T: t, X: p.X, Y: p.Y, PolicyVersion: policyVersion,
-	}, nil)
-}
-
 // ClientPolicy is the decoded policy of a user.
 type ClientPolicy struct {
 	User    int
@@ -84,92 +112,227 @@ type ClientPolicy struct {
 	Graph   *policygraph.Graph
 }
 
-// Policy fetches the user's current policy (graph included).
+func decodePolicy(p wire.Policy) (ClientPolicy, error) {
+	cp := ClientPolicy{User: p.User, Epsilon: p.Epsilon, Version: p.Version}
+	if len(p.Graph) > 0 {
+		var g policygraph.Graph
+		if err := json.Unmarshal(p.Graph, &g); err != nil {
+			return ClientPolicy{}, fmt.Errorf("server client: decoding policy graph: %w", err)
+		}
+		cp.Graph = &g
+	}
+	return cp, nil
+}
+
+// Policy fetches the user's current policy (graph included) and caches
+// it for automatic version negotiation.
 func (c *Client) Policy(user int) (ClientPolicy, error) {
-	var raw policyResponse
-	if err := c.get(fmt.Sprintf("/v1/policy?user=%d", user), &raw); err != nil {
+	var raw wire.Policy
+	if err := c.get(fmt.Sprintf("/v2/policy?user=%d", user), &raw); err != nil {
 		return ClientPolicy{}, err
 	}
-	var g policygraph.Graph
-	if err := json.Unmarshal(raw.Graph, &g); err != nil {
-		return ClientPolicy{}, fmt.Errorf("server client: decoding policy graph: %w", err)
+	cp, err := decodePolicy(raw)
+	if err != nil {
+		return ClientPolicy{}, err
 	}
-	return ClientPolicy{User: raw.User, Epsilon: raw.Epsilon, Version: raw.Version, Graph: &g}, nil
+	c.mu.Lock()
+	c.policies[user] = cp
+	c.mu.Unlock()
+	return cp, nil
 }
 
-// MarkInfected publishes newly infected cells; returns affected users.
-func (c *Client) MarkInfected(cells []int) ([]int, error) {
-	var out map[string][]int
-	if err := c.post("/v1/infected", infectedRequest{Cells: cells}, &out); err != nil {
-		return nil, err
-	}
-	return out["changed"], nil
+// CachedPolicy returns the last policy seen for the user, if any.
+func (c *Client) CachedPolicy(user int) (ClientPolicy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.policies[user]
+	return cp, ok
 }
 
-// HealthCode fetches the user's certification.
-func (c *Client) HealthCode(user, window int) (HealthCode, error) {
-	var out map[string]string
-	path := fmt.Sprintf("/v1/healthcode?user=%d", user)
-	if window > 0 {
-		path += fmt.Sprintf("&window=%d", window)
+// policyVersion returns the cached version for the user, fetching the
+// policy on a cold cache.
+func (c *Client) policyVersion(user int) (int, error) {
+	if cp, ok := c.CachedPolicy(user); ok {
+		return cp.Version, nil
 	}
-	if err := c.get(path, &out); err != nil {
-		return "", err
+	cp, err := c.Policy(user)
+	if err != nil {
+		return 0, err
 	}
-	return HealthCode(out["code"]), nil
+	return cp.Version, nil
 }
 
-// Density fetches regional release counts at a timestep.
-func (c *Client) Density(t, blockRows, blockCols int) ([]int, error) {
-	var out map[string][]int
-	path := fmt.Sprintf("/v1/density?t=%d&block_rows=%d&block_cols=%d", t, blockRows, blockCols)
-	if err := c.get(path, &out); err != nil {
-		return nil, err
+// adoptStalePolicy absorbs the inline policy of a stale_policy error
+// into the cache and reports whether a retry is warranted.
+func (c *Client) adoptStalePolicy(user int, err error) bool {
+	ae, ok := err.(*APIError)
+	if !ok || ae.Code != wire.CodeStalePolicy || ae.Policy == nil {
+		return false
 	}
-	return out["counts"], nil
+	cp, derr := decodePolicy(*ae.Policy)
+	if derr != nil {
+		return false
+	}
+	c.mu.Lock()
+	c.policies[user] = cp
+	c.mu.Unlock()
+	return true
 }
 
-// Records fetches a user's stored releases.
-func (c *Client) Records(user int) ([]Record, error) {
-	var out []Record
-	if err := c.get(fmt.Sprintf("/v1/records?user=%d", user), &out); err != nil {
-		return nil, err
+// ReportBatch sends many releases for one user in one round trip — the
+// contact-tracing whole-history re-send. The policy version is managed
+// automatically: on a stale-policy conflict the client adopts the
+// server's inline policy and retries once under the new version.
+//
+// The retry re-submits the same releases. Releases are mechanism
+// outputs, so re-submitting is safe post-processing of data already
+// perturbed under the policy the user had when they were generated —
+// but the server stamps stored records with its current version (as
+// /v1 always did). Protocol flows that must re-perturb history under
+// the renegotiated graph (the paper's contact-tracing re-send) should
+// regenerate the batch instead: call CachedPolicy after a failed send
+// (or check IsStalePolicy), rebuild the mechanism, and send the new
+// releases — or use the in-process panda.User, which rebuilds its
+// mechanism on every policy change.
+func (c *Client) ReportBatch(user int, releases []wire.Release) (wire.BatchReportResponse, error) {
+	ver, err := c.policyVersion(user)
+	if err != nil {
+		return wire.BatchReportResponse{}, err
+	}
+	var out wire.BatchReportResponse
+	req := wire.BatchReportRequest{User: user, PolicyVersion: ver, Releases: releases}
+	err = c.post("/v2/reports", req, &out)
+	if err != nil && c.adoptStalePolicy(user, err) {
+		req.PolicyVersion, _ = c.policyVersion(user)
+		err = c.post("/v2/reports", req, &out)
+	}
+	if err != nil {
+		return wire.BatchReportResponse{}, err
 	}
 	return out, nil
 }
 
+// Report sends a single released location (a batch of one).
+func (c *Client) Report(user, t int, p geo.Point) error {
+	_, err := c.ReportBatch(user, []wire.Release{{T: t, X: p.X, Y: p.Y}})
+	return err
+}
+
+// RecordsPage fetches one page of the user's stored releases. An empty
+// cursor starts from the beginning; limit <= 0 uses the server default.
+func (c *Client) RecordsPage(user int, cursor string, limit int) (wire.RecordsPage, error) {
+	q := url.Values{}
+	q.Set("user", fmt.Sprint(user))
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	var page wire.RecordsPage
+	if err := c.get("/v2/records?"+q.Encode(), &page); err != nil {
+		return wire.RecordsPage{}, err
+	}
+	return page, nil
+}
+
+// Records fetches all of a user's stored releases, following pagination
+// cursors until the listing is complete.
+func (c *Client) Records(user int) ([]Record, error) {
+	var out []Record
+	cursor := ""
+	for {
+		page, err := c.RecordsPage(user, cursor, maxPageLimit)
+		if err != nil {
+			return nil, err
+		}
+		for _, wr := range page.Records {
+			out = append(out, Record{
+				User: wr.User, T: wr.T, Point: geo.Pt(wr.X, wr.Y),
+				Cell: wr.Cell, PolicyVersion: wr.PolicyVersion,
+			})
+		}
+		if page.NextCursor == "" {
+			return out, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// MarkInfected publishes newly infected cells; returns affected users.
+func (c *Client) MarkInfected(cells []int) ([]int, error) {
+	var out wire.InfectedResponse
+	if err := c.post("/v2/infected", wire.InfectedRequest{Cells: cells}, &out); err != nil {
+		return nil, err
+	}
+	return out.Changed, nil
+}
+
+// HealthCode fetches the user's certification over the last `window`
+// timesteps anchored at `now` (window <= 0 = all history, now < 0 = the
+// server's latest timestep).
+func (c *Client) HealthCode(user, window, now int) (HealthCode, error) {
+	path := fmt.Sprintf("/v2/healthcode?user=%d", user)
+	if window > 0 {
+		path += fmt.Sprintf("&window=%d", window)
+	}
+	if now >= 0 {
+		path += fmt.Sprintf("&now=%d", now)
+	}
+	var out wire.HealthCodeResponse
+	if err := c.get(path, &out); err != nil {
+		return "", err
+	}
+	return HealthCode(out.Code), nil
+}
+
+// Density fetches regional release counts at a timestep.
+func (c *Client) Density(t, blockRows, blockCols int) ([]int, error) {
+	var out wire.DensityResponse
+	path := fmt.Sprintf("/v2/density?t=%d&block_rows=%d&block_cols=%d", t, blockRows, blockCols)
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	return out.Counts, nil
+}
+
 // DensitySeries fetches per-region counts for a timestep range.
 func (c *Client) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
-	var out map[string][][]int
-	path := fmt.Sprintf("/v1/density_series?t0=%d&t1=%d&block_rows=%d&block_cols=%d",
+	var out wire.DensitySeriesResponse
+	path := fmt.Sprintf("/v2/density_series?t0=%d&t1=%d&block_rows=%d&block_cols=%d",
 		t0, t1, blockRows, blockCols)
 	if err := c.get(path, &out); err != nil {
 		return nil, err
 	}
-	return out["series"], nil
+	return out.Series, nil
 }
 
 // Exposure fetches the infected-place exposure series.
 func (c *Client) Exposure(t0, t1 int) ([]int, error) {
-	var out map[string][]int
-	if err := c.get(fmt.Sprintf("/v1/exposure?t0=%d&t1=%d", t0, t1), &out); err != nil {
+	var out wire.ExposureResponse
+	if err := c.get(fmt.Sprintf("/v2/exposure?t0=%d&t1=%d", t0, t1), &out); err != nil {
 		return nil, err
 	}
-	return out["exposure"], nil
+	return out.Exposure, nil
 }
 
 // Census fetches the population health-code tally.
-func (c *Client) Census(window int) (map[HealthCode]int, error) {
-	var out map[string]int
-	path := "/v1/census"
+func (c *Client) Census(window, now int) (map[HealthCode]int, error) {
+	path := "/v2/census"
+	sep := "?"
 	if window > 0 {
-		path += fmt.Sprintf("?window=%d", window)
+		path += fmt.Sprintf("%swindow=%d", sep, window)
+		sep = "&"
 	}
+	if now >= 0 {
+		path += fmt.Sprintf("%snow=%d", sep, now)
+	}
+	var out wire.CensusResponse
 	if err := c.get(path, &out); err != nil {
 		return nil, err
 	}
-	census := make(map[HealthCode]int, len(out))
-	for code, n := range out {
+	census := make(map[HealthCode]int, len(out.Census))
+	for code, n := range out.Census {
 		census[HealthCode(code)] = n
 	}
 	return census, nil

@@ -1,14 +1,13 @@
 // Package server implements PANDA's untrusted (semi-honest) server side
-// (Fig. 1/3): an in-memory database of released locations, the aggregate
+// (Fig. 1/3): a pluggable store of released locations, the aggregate
 // queries behind the location-monitoring app (regional density and
-// movement flows), the privacy-preserving "health code" service, and an
-// HTTP API with a matching client that plays the role of the mobile app.
+// movement flows), the privacy-preserving "health code" service, and a
+// versioned HTTP API (/v1 legacy, /v2 typed) with a matching client that
+// plays the role of the mobile app.
 package server
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
 	"github.com/pglp/panda/internal/geo"
 )
@@ -23,95 +22,107 @@ type Record struct {
 	PolicyVersion int       `json:"policy_version"`
 }
 
-// DB is a concurrency-safe store of released locations keyed by user.
+// DB is the released-location database: grid-aware validation and the
+// surveillance analytics, layered over a pluggable Store.
 type DB struct {
-	mu   sync.RWMutex
-	grid *geo.Grid
-	recs map[int][]Record // per user, ascending T
-	n    int
+	grid  *geo.Grid
+	store Store
 }
 
-// NewDB creates an empty location database over the grid.
-func NewDB(grid *geo.Grid) *DB {
-	return &DB{grid: grid, recs: make(map[int][]Record)}
+// NewDB creates an empty location database over the grid, backed by the
+// single-lock in-memory store.
+func NewDB(grid *geo.Grid) *DB { return &DB{grid: grid, store: NewMemStore()} }
+
+// NewShardedDB creates a database backed by a store with `shards`
+// independent locks keyed by user, so ingestion scales with cores.
+func NewShardedDB(grid *geo.Grid, shards int) *DB {
+	if shards <= 1 {
+		return NewDB(grid)
+	}
+	return &DB{grid: grid, store: NewShardedStore(shards)}
+}
+
+// NewDBOn creates a database over the grid backed by an explicit Store —
+// the seam where alternative (persistent, remote) backends plug in.
+func NewDBOn(grid *geo.Grid, store Store) (*DB, error) {
+	if grid == nil || store == nil {
+		return nil, fmt.Errorf("server: nil grid or store")
+	}
+	return &DB{grid: grid, store: store}, nil
 }
 
 // Grid returns the database's grid.
 func (db *DB) Grid() *geo.Grid { return db.grid }
 
+// Store returns the underlying record store.
+func (db *DB) Store() Store { return db.store }
+
 // Len returns the total number of stored records.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.n
+func (db *DB) Len() int { return db.store.Len() }
+
+// MaxT returns the latest timestep of any stored record, -1 if empty.
+func (db *DB) MaxT() int { return db.store.MaxT() }
+
+// validate checks a record against the grid, snapping its point if Cell
+// is unset (-1), and returns the normalized record.
+func (db *DB) validate(rec Record) (Record, error) {
+	if rec.T < 0 {
+		return rec, fmt.Errorf("server: negative timestep %d", rec.T)
+	}
+	if rec.Cell == -1 {
+		rec.Cell = db.grid.Snap(rec.Point)
+	}
+	if !db.grid.InRange(rec.Cell) {
+		return rec, fmt.Errorf("server: cell %d out of range", rec.Cell)
+	}
+	return rec, nil
 }
 
 // Insert stores a record, snapping its point if Cell is unset (-1). A
 // record for an existing (user, t) pair replaces the older release — the
 // re-send semantics of the contact-tracing protocol.
 func (db *DB) Insert(rec Record) error {
-	if rec.T < 0 {
-		return fmt.Errorf("server: negative timestep %d", rec.T)
+	rec, err := db.validate(rec)
+	if err != nil {
+		return err
 	}
-	if rec.Cell == -1 {
-		rec.Cell = db.grid.Snap(rec.Point)
-	}
-	if !db.grid.InRange(rec.Cell) {
-		return fmt.Errorf("server: cell %d out of range", rec.Cell)
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rs := db.recs[rec.User]
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= rec.T })
-	if i < len(rs) && rs[i].T == rec.T {
-		rs[i] = rec // replace
-	} else {
-		rs = append(rs, Record{})
-		copy(rs[i+1:], rs[i:])
-		rs[i] = rec
-		db.n++
-	}
-	db.recs[rec.User] = rs
+	db.store.Insert(rec)
 	return nil
 }
 
+// InsertBatch validates every record first and then stores them all —
+// the batch-ingest path of POST /v2/reports. The batch is atomic with
+// respect to validation: if any record is invalid, nothing is stored.
+// It returns how many records were new and how many replaced an
+// existing (user, t) release.
+func (db *DB) InsertBatch(recs []Record) (added, replaced int, err error) {
+	normalized := make([]Record, len(recs))
+	for i, rec := range recs {
+		r, err := db.validate(rec)
+		if err != nil {
+			return 0, 0, fmt.Errorf("record %d: %w", i, err)
+		}
+		normalized[i] = r
+	}
+	added = db.store.InsertBatch(normalized)
+	return added, len(normalized) - added, nil
+}
+
 // UserRecords returns a copy of one user's records in time order.
-func (db *DB) UserRecords(user int) []Record {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rs := db.recs[user]
-	out := make([]Record, len(rs))
-	copy(out, rs)
-	return out
+func (db *DB) UserRecords(user int) []Record { return db.store.UserRecords(user) }
+
+// UserRecordsAfter returns up to limit of the user's records with
+// T > afterT — the pagination primitive behind GET /v2/records.
+func (db *DB) UserRecordsAfter(user, afterT, limit int) []Record {
+	return db.store.UserRecordsAfter(user, afterT, limit)
 }
 
 // Users returns the IDs of users with at least one record.
-func (db *DB) Users() []int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]int, 0, len(db.recs))
-	for u := range db.recs {
-		out = append(out, u)
-	}
-	sort.Ints(out)
-	return out
-}
+func (db *DB) Users() []int { return db.store.Users() }
 
 // At returns every user's record at timestep t (users without one are
 // skipped), ordered by user ID.
-func (db *DB) At(t int) []Record {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []Record
-	for _, rs := range db.recs {
-		i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= t })
-		if i < len(rs) && rs[i].T == t {
-			out = append(out, rs[i])
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
-	return out
-}
+func (db *DB) At(t int) []Record { return db.store.At(t) }
 
 // DensityAt returns the number of released locations per blockRows×blockCols
 // region at timestep t — the location-monitoring aggregate ("people's
@@ -161,24 +172,27 @@ const (
 )
 
 // HealthCodeFor certifies a user from their released locations: visits to
-// infected cells within the last `window` timesteps (≤0 = all history) are
-// counted. Because it runs on released data only, the certificate is
-// privacy-preserving by post-processing.
-func (db *DB) HealthCodeFor(user int, infected []int, window int) HealthCode {
+// infected cells within the last `window` timesteps before `now` (records
+// with T > now-window) are counted; window ≤ 0 counts all history. A
+// negative `now` resolves to the database's latest timestep. The window
+// is anchored at an explicit `now` rather than the user's own latest
+// record, so a user who stopped reporting ages out of the window instead
+// of keeping an eternally-fresh certificate. Because it runs on released
+// data only, the certificate is privacy-preserving by post-processing.
+func (db *DB) HealthCodeFor(user int, infected []int, window, now int) HealthCode {
 	inf := make(map[int]bool, len(infected))
 	for _, c := range infected {
 		inf[c] = true
 	}
-	rs := db.UserRecords(user)
-	maxT := -1
-	for _, r := range rs {
-		if r.T > maxT {
-			maxT = r.T
-		}
+	if now < 0 {
+		now = db.MaxT()
 	}
 	visits := 0
-	for _, r := range rs {
-		if window > 0 && r.T <= maxT-window {
+	for _, r := range db.UserRecords(user) {
+		// The window is (now-window, now]: records after the anchor are
+		// just as out-of-window as records before it, so a historical
+		// `now` never counts visits that hadn't happened yet.
+		if window > 0 && (r.T <= now-window || r.T > now) {
 			continue
 		}
 		if inf[r.Cell] {

@@ -133,24 +133,54 @@ func TestHealthCodeFor(t *testing.T) {
 	db := NewDB(grid)
 	infected := []int{5, 6}
 	_ = db.Insert(Record{User: 0, T: 0, Cell: 0})
-	if code := db.HealthCodeFor(0, infected, 0); code != CodeGreen {
+	if code := db.HealthCodeFor(0, infected, 0, -1); code != CodeGreen {
 		t.Errorf("code = %v, want green", code)
 	}
 	_ = db.Insert(Record{User: 0, T: 1, Cell: 5})
-	if code := db.HealthCodeFor(0, infected, 0); code != CodeYellow {
+	if code := db.HealthCodeFor(0, infected, 0, -1); code != CodeYellow {
 		t.Errorf("code = %v, want yellow", code)
 	}
 	_ = db.Insert(Record{User: 0, T: 2, Cell: 6})
-	if code := db.HealthCodeFor(0, infected, 0); code != CodeRed {
+	if code := db.HealthCodeFor(0, infected, 0, -1); code != CodeRed {
 		t.Errorf("code = %v, want red", code)
 	}
-	// Windowing: only the visit at t=2 counts in a window of 1.
-	if code := db.HealthCodeFor(0, infected, 1); code != CodeYellow {
+	// Windowing: only the visit at t=2 counts in a window of 1 anchored
+	// at the latest timestep.
+	if code := db.HealthCodeFor(0, infected, 1, -1); code != CodeYellow {
 		t.Errorf("windowed code = %v, want yellow", code)
 	}
 	// Unknown user is green.
-	if code := db.HealthCodeFor(42, infected, 0); code != CodeGreen {
+	if code := db.HealthCodeFor(42, infected, 0, -1); code != CodeGreen {
 		t.Errorf("unknown user code = %v", code)
+	}
+}
+
+func TestHealthCodeWindowAnchoredAtNow(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	db := NewDB(grid)
+	infected := []int{5}
+	// User 0 visited an infected place at t=2 and then stopped reporting.
+	_ = db.Insert(Record{User: 0, T: 2, Cell: 5})
+	// While the visit is inside the window, it counts.
+	if code := db.HealthCodeFor(0, infected, 14, 10); code != CodeYellow {
+		t.Errorf("code at now=10 = %v, want yellow", code)
+	}
+	// Long after the visit, an explicit clock ages it out — the window
+	// must not stay anchored at the user's own last record.
+	if code := db.HealthCodeFor(0, infected, 14, 30); code != CodeGreen {
+		t.Errorf("code at now=30 = %v, want green (visit aged out)", code)
+	}
+	// Another user keeps reporting, advancing the DB's latest timestep;
+	// the default clock (now < 0) then ages user 0 out too.
+	_ = db.Insert(Record{User: 1, T: 30, Cell: 0})
+	if code := db.HealthCodeFor(0, infected, 14, -1); code != CodeGreen {
+		t.Errorf("code at default now = %v, want green", code)
+	}
+	// A visit after the anchor must not count either: the window is
+	// (now-window, now], so a historical query never sees the future.
+	_ = db.Insert(Record{User: 0, T: 40, Cell: 5})
+	if code := db.HealthCodeFor(0, infected, 14, 10); code != CodeYellow {
+		t.Errorf("code at now=10 with future visit = %v, want yellow (only the t=2 visit)", code)
 	}
 }
 

@@ -10,14 +10,25 @@ import (
 	"github.com/pglp/panda/internal/policy"
 )
 
-// Server exposes the surveillance backend over HTTP. Endpoints:
+// Server exposes the surveillance backend over HTTP, in two wire
+// versions (see API.md for the full contract).
+//
+// /v1 — the legacy surface. Wire shapes are frozen and the
+// policy_version-0 skip is preserved bug-for-bug, but this release
+// tightened two behaviors shared with /v2: parameter ranges are now
+// validated (negative t, inverted ranges, non-positive window → 400)
+// and health-code windows anchor at an explicit clock (see API.md):
 //
 //	POST /v1/report      {user, t, x, y, policy_version} → 204
 //	GET  /v1/policy?user=ID                              → policy JSON
 //	POST /v1/infected    {cells: [...]}                  → {changed: [...]}
-//	GET  /v1/healthcode?user=ID&window=W                 → {code}
+//	GET  /v1/healthcode?user=ID&window=W&now=T           → {code}
 //	GET  /v1/density?t=T&block_rows=R&block_cols=C       → {counts: [...]}
 //	GET  /v1/records?user=ID                             → [records]
+//
+// /v2 — the typed protocol of the wire package: batch reporting, cursor
+// pagination, a uniform {error, code} envelope, and inline policy
+// renegotiation on stale versions (see httpv2.go).
 type Server struct {
 	db  *DB
 	mgr *policy.Manager
@@ -35,7 +46,8 @@ func NewServer(db *DB, mgr *policy.Manager) (*Server, error) {
 // embedded in-process).
 func (s *Server) DB() *DB { return s.db }
 
-// Handler returns the HTTP routing for the server.
+// Handler returns the HTTP routing for the server: both the legacy /v1
+// surface and the typed /v2 surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/report", s.handleReport)
@@ -47,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/density_series", s.handleDensitySeries)
 	mux.HandleFunc("GET /v1/exposure", s.handleExposure)
 	mux.HandleFunc("GET /v1/census", s.handleCensus)
+	s.routeV2(mux)
 	return mux
 }
 
@@ -64,7 +77,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// reportRequest is the wire form of a location report.
+// reportRequest is the wire form of a /v1 location report.
 type reportRequest struct {
 	User          int     `json:"user"`
 	T             int     `json:"t"`
@@ -73,6 +86,11 @@ type reportRequest struct {
 	PolicyVersion int     `json:"policy_version"`
 }
 
+// handleReport ingests one release. Legacy quirk, kept for /v1
+// compatibility: policy_version 0 means "unset" and skips the staleness
+// check entirely, so old clients that never learned about versions keep
+// working. /v2 makes the version mandatory — use POST /v2/reports for
+// enforced renegotiation.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	var req reportRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -143,35 +161,29 @@ func (s *Server) handleHealthCode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	window := 0
-	if r.URL.Query().Get("window") != "" {
-		if window, err = queryInt(r, "window"); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+	window, err := queryIntOpt(r, "window", 0, 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	code := s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window)
+	now, err := queryIntOpt(r, "now", -1, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window, now)
 	writeJSON(w, map[string]string{"code": string(code)})
 }
 
 func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
-	t, err := queryInt(r, "t")
+	t, err := queryIntMin(r, "t", 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	br, err := queryInt(r, "block_rows")
+	br, bc, err := queryBlocks(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	bc, err := queryInt(r, "block_cols")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if br <= 0 || bc <= 0 {
-		httpError(w, http.StatusBadRequest, "block dimensions must be positive")
 		return
 	}
 	writeJSON(w, map[string][]int{"counts": s.db.DensityAt(t, br, bc)})
@@ -187,28 +199,14 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDensitySeries(w http.ResponseWriter, r *http.Request) {
-	t0, err := queryInt(r, "t0")
+	t0, t1, err := queryTimeRange(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	t1, err := queryInt(r, "t1")
+	br, bc, err := queryBlocks(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	br, err := queryInt(r, "block_rows")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	bc, err := queryInt(r, "block_cols")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if br <= 0 || bc <= 0 {
-		httpError(w, http.StatusBadRequest, "block dimensions must be positive")
 		return
 	}
 	series, err := s.db.DensitySeries(t0, t1, br, bc)
@@ -220,12 +218,7 @@ func (s *Server) handleDensitySeries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExposure(w http.ResponseWriter, r *http.Request) {
-	t0, err := queryInt(r, "t0")
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	t1, err := queryInt(r, "t1")
+	t0, t1, err := queryTimeRange(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -239,15 +232,17 @@ func (s *Server) handleExposure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
-	window := 0
-	if r.URL.Query().Get("window") != "" {
-		var err error
-		if window, err = queryInt(r, "window"); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+	window, err := queryIntOpt(r, "window", 0, 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	census := s.db.CodeCensus(s.mgr.InfectedCells(), window)
+	now, err := queryIntOpt(r, "now", -1, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	census := s.db.CodeCensus(s.mgr.InfectedCells(), window, now)
 	out := make(map[string]int, len(census))
 	for code, n := range census {
 		out[string(code)] = n
@@ -255,6 +250,14 @@ func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// --- central query-parameter parsing and range validation ---
+//
+// Every handler (both wire versions) parses parameters through these
+// helpers so range rules live in one place: timesteps are non-negative,
+// time ranges are ordered, windows are positive, block dimensions are
+// positive.
+
+// queryInt parses a required integer parameter.
 func queryInt(r *http.Request, key string) (int, error) {
 	raw := r.URL.Query().Get(key)
 	if raw == "" {
@@ -265,4 +268,51 @@ func queryInt(r *http.Request, key string) (int, error) {
 		return 0, fmt.Errorf("parameter %q: %v", key, err)
 	}
 	return v, nil
+}
+
+// queryIntMin parses a required integer parameter and rejects values
+// below min.
+func queryIntMin(r *http.Request, key string, min int) (int, error) {
+	v, err := queryInt(r, key)
+	if err != nil {
+		return 0, err
+	}
+	if v < min {
+		return 0, fmt.Errorf("parameter %q must be >= %d, got %d", key, min, v)
+	}
+	return v, nil
+}
+
+// queryIntOpt parses an optional integer parameter: absent returns def;
+// present values below min are rejected.
+func queryIntOpt(r *http.Request, key string, def, min int) (int, error) {
+	if r.URL.Query().Get(key) == "" {
+		return def, nil
+	}
+	return queryIntMin(r, key, min)
+}
+
+// queryTimeRange parses t0 and t1 and enforces 0 <= t0 <= t1.
+func queryTimeRange(r *http.Request) (t0, t1 int, err error) {
+	if t0, err = queryIntMin(r, "t0", 0); err != nil {
+		return 0, 0, err
+	}
+	if t1, err = queryIntMin(r, "t1", 0); err != nil {
+		return 0, 0, err
+	}
+	if t0 > t1 {
+		return 0, 0, fmt.Errorf("inverted time range [%d, %d]", t0, t1)
+	}
+	return t0, t1, nil
+}
+
+// queryBlocks parses block_rows and block_cols, both required positive.
+func queryBlocks(r *http.Request) (br, bc int, err error) {
+	if br, err = queryIntMin(r, "block_rows", 1); err != nil {
+		return 0, 0, err
+	}
+	if bc, err = queryIntMin(r, "block_cols", 1); err != nil {
+		return 0, 0, err
+	}
+	return br, bc, nil
 }

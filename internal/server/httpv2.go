@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// maxBatchReleases bounds one POST /v2/reports body; a whole-history
+// re-send for one user fits comfortably, a DoS-sized body does not.
+const maxBatchReleases = 100_000
+
+// Pagination bounds for GET /v2/records.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// routeV2 mounts the typed /v2 surface on the mux. Every response —
+// success or error — is a struct from the wire package; errors are the
+// uniform {error, code} envelope.
+func (s *Server) routeV2(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v2/reports", s.handleV2Reports)
+	mux.HandleFunc("GET /v2/records", s.handleV2Records)
+	mux.HandleFunc("GET /v2/policy", s.handleV2Policy)
+	mux.HandleFunc("POST /v2/infected", s.handleV2Infected)
+	mux.HandleFunc("GET /v2/healthcode", s.handleV2HealthCode)
+	mux.HandleFunc("GET /v2/density", s.handleV2Density)
+	mux.HandleFunc("GET /v2/density_series", s.handleV2DensitySeries)
+	mux.HandleFunc("GET /v2/exposure", s.handleV2Exposure)
+	mux.HandleFunc("GET /v2/census", s.handleV2Census)
+}
+
+// v2Error writes the uniform error envelope.
+func v2Error(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.Error{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// v2StalePolicy writes the 409 renegotiation envelope: the error plus
+// the user's current policy inline, so the client re-syncs in one round
+// trip instead of following up with GET /v2/policy.
+func (s *Server) v2StalePolicy(w http.ResponseWriter, user, gotVersion, curVersion int) {
+	pol, err := s.wirePolicy(user)
+	if err != nil {
+		v2Error(w, http.StatusInternalServerError, wire.CodeInternal, "encoding policy: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	_ = json.NewEncoder(w).Encode(wire.Error{
+		Error:  fmt.Sprintf("stale policy version %d (current %d)", gotVersion, curVersion),
+		Code:   wire.CodeStalePolicy,
+		Policy: &pol,
+	})
+}
+
+// wirePolicy assembles the wire form of a user's current policy.
+func (s *Server) wirePolicy(user int) (wire.Policy, error) {
+	up := s.mgr.Get(user)
+	graph, err := json.Marshal(up.Graph)
+	if err != nil {
+		return wire.Policy{}, err
+	}
+	return wire.Policy{User: user, Epsilon: up.Epsilon, Version: up.Version, Graph: graph}, nil
+}
+
+func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
+		return
+	}
+	if len(req.Releases) == 0 {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "empty batch: at least one release required")
+		return
+	}
+	if len(req.Releases) > maxBatchReleases {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"batch of %d releases exceeds the limit of %d", len(req.Releases), maxBatchReleases)
+		return
+	}
+	if req.PolicyVersion <= 0 {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"policy_version is required and must be >= 1 (got %d); /v2 does not accept unversioned reports",
+			req.PolicyVersion)
+		return
+	}
+	up := s.mgr.Get(req.User)
+	if !up.Consented {
+		v2Error(w, http.StatusForbidden, wire.CodeConsent,
+			"user %d has not consented to the current policy", req.User)
+		return
+	}
+	if req.PolicyVersion != up.Version {
+		s.v2StalePolicy(w, req.User, req.PolicyVersion, up.Version)
+		return
+	}
+	recs := make([]Record, len(req.Releases))
+	for i, rel := range req.Releases {
+		recs[i] = Record{
+			User: req.User, T: rel.T, Point: geo.Pt(rel.X, rel.Y),
+			Cell: -1, PolicyVersion: up.Version,
+		}
+	}
+	added, replaced, err := s.db.InsertBatch(recs)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, wire.BatchReportResponse{Accepted: added, Replaced: replaced, PolicyVersion: up.Version})
+}
+
+func (s *Server) handleV2Records(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryIntOpt(r, "limit", defaultPageLimit, 1)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	if limit > maxPageLimit {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"limit %d exceeds the maximum of %d", limit, maxPageLimit)
+		return
+	}
+	afterT := -1
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		if afterT, err = wire.DecodeCursor(raw); err != nil {
+			v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+			return
+		}
+	}
+	// Fetch one extra record to learn whether another page exists.
+	recs := s.db.UserRecordsAfter(user, afterT, limit+1)
+	page := wire.RecordsPage{Records: make([]wire.Record, 0, min(len(recs), limit))}
+	more := len(recs) > limit
+	if more {
+		recs = recs[:limit]
+	}
+	for _, rec := range recs {
+		page.Records = append(page.Records, wire.Record{
+			User: rec.User, T: rec.T, X: rec.Point.X, Y: rec.Point.Y,
+			Cell: rec.Cell, PolicyVersion: rec.PolicyVersion,
+		})
+	}
+	if more {
+		page.NextCursor = wire.EncodeCursor(recs[len(recs)-1].T)
+	}
+	writeJSON(w, page)
+}
+
+func (s *Server) handleV2Policy(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	pol, err := s.wirePolicy(user)
+	if err != nil {
+		v2Error(w, http.StatusInternalServerError, wire.CodeInternal, "encoding graph: %v", err)
+		return
+	}
+	writeJSON(w, pol)
+}
+
+func (s *Server) handleV2Infected(w http.ResponseWriter, r *http.Request) {
+	var req wire.InfectedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding infected cells: %v", err)
+		return
+	}
+	changed := s.mgr.MarkInfected(req.Cells)
+	if changed == nil {
+		changed = []int{}
+	}
+	writeJSON(w, wire.InfectedResponse{Changed: changed})
+}
+
+func (s *Server) handleV2HealthCode(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user")
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	window, err := queryIntOpt(r, "window", 0, 1)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	now, err := queryIntOpt(r, "now", -1, 0)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	if now < 0 {
+		now = s.db.MaxT()
+	}
+	code := s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window, now)
+	writeJSON(w, wire.HealthCodeResponse{User: user, Code: string(code), Window: window, Now: now})
+}
+
+func (s *Server) handleV2Density(w http.ResponseWriter, r *http.Request) {
+	t, err := queryIntMin(r, "t", 0)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	br, bc, err := queryBlocks(r)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, wire.DensityResponse{T: t, Counts: s.db.DensityAt(t, br, bc)})
+}
+
+func (s *Server) handleV2DensitySeries(w http.ResponseWriter, r *http.Request) {
+	t0, t1, err := queryTimeRange(r)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	br, bc, err := queryBlocks(r)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	series, err := s.db.DensitySeries(t0, t1, br, bc)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, wire.DensitySeriesResponse{T0: t0, T1: t1, Series: series})
+}
+
+func (s *Server) handleV2Exposure(w http.ResponseWriter, r *http.Request) {
+	t0, t1, err := queryTimeRange(r)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	series, err := s.db.InfectedExposureSeries(t0, t1, s.mgr.InfectedCells())
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, wire.ExposureResponse{T0: t0, T1: t1, Exposure: series})
+}
+
+func (s *Server) handleV2Census(w http.ResponseWriter, r *http.Request) {
+	window, err := queryIntOpt(r, "window", 0, 1)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	now, err := queryIntOpt(r, "now", -1, 0)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	if now < 0 {
+		now = s.db.MaxT()
+	}
+	census := s.db.CodeCensus(s.mgr.InfectedCells(), window, now)
+	out := make(map[string]int, len(census))
+	for code, n := range census {
+		out[string(code)] = n
+	}
+	writeJSON(w, wire.CensusResponse{Census: out, Window: window, Now: now})
+}

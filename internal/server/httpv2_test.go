@@ -1,0 +1,316 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// postV2 POSTs a raw body and decodes the response as a wire error
+// envelope (zero-valued for 2xx).
+func postV2(t *testing.T, base, path, body string) (int, wire.Error) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e wire.Error
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, e
+}
+
+func getV2(t *testing.T, base, path string) (int, wire.Error) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e wire.Error
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, e
+}
+
+// TestV2ErrorEnvelopes drives every error path of the /v2 surface and
+// checks the uniform {error, code} envelope.
+func TestV2ErrorEnvelopes(t *testing.T) {
+	srv, client, grid, done := newTestServer(t)
+	defer done()
+	base := client.baseURL()
+
+	// A non-consenting user for the 403 path.
+	srv.mgr.Get(7)
+	srv.mgr.Consent(7, false)
+
+	p := grid.Center(1)
+	report := func(user, ver int, t0 int) string {
+		return fmt.Sprintf(`{"user":%d,"policy_version":%d,"releases":[{"t":%d,"x":%v,"y":%v}]}`,
+			user, ver, t0, p.X, p.Y)
+	}
+
+	posts := []struct {
+		name, path, body string
+		status           int
+		code             string
+	}{
+		{"bad json", "/v2/reports", "{nope", http.StatusBadRequest, wire.CodeBadRequest},
+		{"empty batch", "/v2/reports", `{"user":0,"policy_version":1,"releases":[]}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"missing version", "/v2/reports", `{"user":0,"releases":[{"t":0,"x":0,"y":0}]}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"negative version", "/v2/reports", report(0, -2, 0), http.StatusBadRequest, wire.CodeBadRequest},
+		{"stale version", "/v2/reports", report(0, 99, 0), http.StatusConflict, wire.CodeStalePolicy},
+		{"no consent", "/v2/reports", report(7, 1, 0), http.StatusForbidden, wire.CodeConsent},
+		{"negative timestep", "/v2/reports", report(0, 1, -4), http.StatusBadRequest, wire.CodeBadRequest},
+		{"bad infected json", "/v2/infected", "[", http.StatusBadRequest, wire.CodeBadRequest},
+	}
+	for _, tc := range posts {
+		status, e := postV2(t, base, tc.path, tc.body)
+		if status != tc.status || e.Code != tc.code {
+			t.Errorf("%s: status=%d code=%q (%s), want %d %q", tc.name, status, e.Code, e.Error, tc.status, tc.code)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	gets := []struct{ name, path string }{
+		{"records missing user", "/v2/records"},
+		{"records bad cursor", "/v2/records?user=0&cursor=%25%25"},
+		{"records zero limit", "/v2/records?user=0&limit=0"},
+		{"records oversized limit", fmt.Sprintf("/v2/records?user=0&limit=%d", maxPageLimit+1)},
+		{"density negative t", "/v2/density?t=-1&block_rows=2&block_cols=2"},
+		{"density zero block", "/v2/density?t=0&block_rows=2&block_cols=0"},
+		{"series inverted", "/v2/density_series?t0=2&t1=1&block_rows=2&block_cols=2"},
+		{"exposure inverted", "/v2/exposure?t0=2&t1=1"},
+		{"healthcode missing user", "/v2/healthcode"},
+		{"healthcode zero window", "/v2/healthcode?user=0&window=0"},
+		{"healthcode negative now", "/v2/healthcode?user=0&now=-1"},
+		{"census negative window", "/v2/census?window=-1"},
+		{"policy bad user", "/v2/policy?user=xyz"},
+	}
+	for _, tc := range gets {
+		status, e := getV2(t, base, tc.path)
+		if status != http.StatusBadRequest || e.Code != wire.CodeBadRequest {
+			t.Errorf("%s: status=%d code=%q (%s), want 400 %q", tc.name, status, e.Code, e.Error, wire.CodeBadRequest)
+		}
+	}
+}
+
+// TestV2StalePolicyCarriesNewPolicy checks the renegotiation envelope: a
+// stale report gets a 409 whose body already contains the user's current
+// policy, graph included, so no follow-up round trip is needed.
+func TestV2StalePolicyCarriesNewPolicy(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	base := client.baseURL()
+	if _, err := client.Policy(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.MarkInfected([]int{5}); err != nil { // bump to version 2
+		t.Fatal(err)
+	}
+	p := grid.Center(1)
+	body := fmt.Sprintf(`{"user":0,"policy_version":1,"releases":[{"t":0,"x":%v,"y":%v}]}`, p.X, p.Y)
+	status, e := postV2(t, base, "/v2/reports", body)
+	if status != http.StatusConflict || e.Code != wire.CodeStalePolicy {
+		t.Fatalf("status=%d code=%q, want 409 stale_policy", status, e.Code)
+	}
+	if e.Policy == nil {
+		t.Fatal("stale_policy envelope missing inline policy")
+	}
+	if e.Policy.Version != 2 || e.Policy.User != 0 {
+		t.Errorf("inline policy = %+v, want user 0 version 2", e.Policy)
+	}
+	var g policygraph.Graph
+	if err := json.Unmarshal(e.Policy.Graph, &g); err != nil {
+		t.Fatalf("inline policy graph: %v", err)
+	}
+	if g.Degree(5) != 0 {
+		t.Error("infected cell should be isolated in the renegotiated policy")
+	}
+}
+
+// TestV2BatchReportAndPagination round-trips a batch through the store
+// and walks the cursor-paginated listing.
+func TestV2BatchReportAndPagination(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+
+	const n = 25
+	releases := make([]wire.Release, 0, n)
+	for i := 0; i < n; i++ {
+		p := grid.Center(i % grid.NumCells())
+		releases = append(releases, wire.Release{T: i, X: p.X, Y: p.Y})
+	}
+	resp, err := client.ReportBatch(3, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != n || resp.Replaced != 0 || resp.PolicyVersion != 1 {
+		t.Errorf("batch response = %+v", resp)
+	}
+	// Re-sending the same batch replaces everything.
+	resp, err = client.ReportBatch(3, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Replaced != n {
+		t.Errorf("re-send response = %+v, want all replaced", resp)
+	}
+
+	// Page through with limit 10: 10 + 10 + 5.
+	var got []wire.Record
+	cursor := ""
+	pages := 0
+	for {
+		page, err := client.RecordsPage(3, cursor, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		got = append(got, page.Records...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if pages != 3 || len(got) != n {
+		t.Fatalf("pages=%d records=%d, want 3 pages of %d total", pages, len(got), n)
+	}
+	for i, rec := range got {
+		if rec.T != i {
+			t.Fatalf("record %d has T=%d; pagination must preserve time order", i, rec.T)
+		}
+	}
+
+	// The drain-everything helper agrees.
+	all, err := client.Records(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Errorf("Records = %d, want %d", len(all), n)
+	}
+}
+
+// TestV2BatchAtomicValidation: one bad release voids the whole batch.
+func TestV2BatchAtomicValidation(t *testing.T) {
+	srv, client, grid, done := newTestServer(t)
+	defer done()
+	base := client.baseURL()
+	p := grid.Center(2)
+	body := fmt.Sprintf(
+		`{"user":4,"policy_version":1,"releases":[{"t":0,"x":%v,"y":%v},{"t":-7,"x":%v,"y":%v}]}`,
+		p.X, p.Y, p.X, p.Y)
+	status, e := postV2(t, base, "/v2/reports", body)
+	if status != http.StatusBadRequest || e.Code != wire.CodeBadRequest {
+		t.Fatalf("status=%d code=%q, want 400 bad_request", status, e.Code)
+	}
+	if n := len(srv.db.UserRecords(4)); n != 0 {
+		t.Errorf("%d records stored from an invalid batch, want 0 (atomic)", n)
+	}
+}
+
+// TestClientAutoPolicyRefresh: a policy bump between reports is absorbed
+// transparently — the client adopts the inline policy from the 409 and
+// retries once.
+func TestClientAutoPolicyRefresh(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	if err := client.Report(0, 0, grid.Center(1)); err != nil {
+		t.Fatal(err)
+	}
+	if cp, ok := client.CachedPolicy(0); !ok || cp.Version != 1 {
+		t.Fatalf("cached policy = %+v, want version 1", cp)
+	}
+	// Policy bump behind the client's back.
+	if _, err := client.MarkInfected([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Report(0, 1, grid.Center(2)); err != nil {
+		t.Fatalf("report after policy bump should auto-refresh, got %v", err)
+	}
+	cp, ok := client.CachedPolicy(0)
+	if !ok || cp.Version != 2 {
+		t.Errorf("cached policy after refresh = %+v, want version 2", cp)
+	}
+	if cp.Graph == nil || cp.Graph.Degree(5) != 0 {
+		t.Error("refreshed policy graph should isolate the infected cell")
+	}
+	if recs, _ := client.Records(0); len(recs) != 2 {
+		t.Errorf("records = %d, want 2 (retry must not drop the report)", len(recs))
+	}
+}
+
+// TestClientRoundTrip drives the typed client across the whole /v2
+// surface against a live httptest server.
+func TestClientRoundTrip(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+
+	for _, r := range []struct{ user, t, cell int }{{0, 0, 0}, {0, 1, 5}, {1, 0, 5}} {
+		if err := client.Report(r.user, r.t, grid.Center(r.cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pol, err := client.Policy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Epsilon != 1.0 || pol.Version != 1 || pol.Graph == nil {
+		t.Errorf("policy = %+v", pol)
+	}
+	if !pol.Graph.IsConnected() {
+		t.Error("baseline policy graph should be connected")
+	}
+
+	counts, err := client.Density(0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 { // cells 0 and 5 share the top-left 2x2 region
+		t.Errorf("density = %v, want 2 in region 0", counts)
+	}
+	series, err := client.DensitySeries(0, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Errorf("series = %v", series)
+	}
+
+	changed, err := client.MarkInfected([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 {
+		t.Errorf("changed = %v, want both users", changed)
+	}
+	exposure, err := client.Exposure(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exposure[0] != 1 || exposure[1] != 1 {
+		t.Errorf("exposure = %v, want [1 1]", exposure)
+	}
+	code, err := client.HealthCode(1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeYellow {
+		t.Errorf("code = %v, want yellow", code)
+	}
+	census, err := client.Census(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census[CodeYellow] != 2 {
+		t.Errorf("census = %v, want 2 yellow", census)
+	}
+}

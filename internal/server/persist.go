@@ -18,15 +18,14 @@ type dbSnapshot struct {
 
 // SaveJSON writes a snapshot of the database (grid shape + all records).
 func (db *DB) SaveJSON(w io.Writer) error {
-	db.mu.RLock()
 	snap := dbSnapshot{
 		Rows: db.grid.Rows, Cols: db.grid.Cols, CellSize: db.grid.CellSize,
-		Records: make([]Record, 0, db.n),
+		Records: make([]Record, 0, db.Len()),
 	}
-	for _, rs := range db.recs {
-		snap.Records = append(snap.Records, rs...)
-	}
-	db.mu.RUnlock()
+	db.store.Scan(func(rec Record) bool {
+		snap.Records = append(snap.Records, rec)
+		return true
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(snap)
 }

@@ -1,0 +1,165 @@
+// Package wire defines the typed JSON protocol of the PANDA /v2 service
+// API: request/response envelopes, the uniform error envelope, machine-
+// readable error codes, and the pagination cursor. It is the single
+// source of truth for what goes over the network — both the server
+// handlers and the client marshal exactly these structs, and it has no
+// dependencies on the rest of the system so external tooling can import
+// it alone.
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Machine-readable error codes carried in the uniform error envelope.
+const (
+	CodeBadRequest  = "bad_request"      // malformed body or out-of-range parameter
+	CodeConsent     = "consent_required" // user has rejected the current policy (403)
+	CodeStalePolicy = "stale_policy"     // client's policy version is outdated (409)
+	CodeInternal    = "internal"         // server-side failure (500)
+)
+
+// Error is the uniform /v2 error envelope. Every non-2xx response body
+// decodes into it. On CodeStalePolicy the server includes the user's
+// current policy inline so the client can re-sync without a second round
+// trip (the dynamic-policy renegotiation of the contact-tracing
+// protocol).
+type Error struct {
+	Error  string  `json:"error"`
+	Code   string  `json:"code"`
+	Policy *Policy `json:"policy,omitempty"`
+}
+
+// Policy is the wire form of a user's location-privacy policy. The graph
+// is included verbatim: publishing policy graphs is part of the
+// transparency story.
+type Policy struct {
+	User    int             `json:"user"`
+	Epsilon float64         `json:"epsilon"`
+	Version int             `json:"version"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+}
+
+// Release is one perturbed location inside a batch report.
+type Release struct {
+	T int     `json:"t"`
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// BatchReportRequest is the body of POST /v2/reports: many releases from
+// one user under one policy version. PolicyVersion is required (≥ 1);
+// unlike /v1, a zero version is rejected rather than skipping the
+// staleness check.
+type BatchReportRequest struct {
+	User          int       `json:"user"`
+	PolicyVersion int       `json:"policy_version"`
+	Releases      []Release `json:"releases"`
+}
+
+// BatchReportResponse summarizes a batch ingest: how many releases were
+// new, how many replaced an existing (user, t) record (the re-send
+// path), and the policy version they were accepted under.
+type BatchReportResponse struct {
+	Accepted      int `json:"accepted"`
+	Replaced      int `json:"replaced"`
+	PolicyVersion int `json:"policy_version"`
+}
+
+// Record is the wire form of one stored release.
+type Record struct {
+	User          int     `json:"user"`
+	T             int     `json:"t"`
+	X             float64 `json:"x"`
+	Y             float64 `json:"y"`
+	Cell          int     `json:"cell"`
+	PolicyVersion int     `json:"policy_version"`
+}
+
+// RecordsPage is one page of GET /v2/records. NextCursor is set when
+// more records remain; pass it back verbatim to resume. An empty
+// NextCursor means the listing is complete.
+type RecordsPage struct {
+	Records    []Record `json:"records"`
+	NextCursor string   `json:"next_cursor,omitempty"`
+}
+
+// InfectedRequest is the body of POST /v2/infected.
+type InfectedRequest struct {
+	Cells []int `json:"cells"`
+}
+
+// InfectedResponse lists the users whose policies changed.
+type InfectedResponse struct {
+	Changed []int `json:"changed"`
+}
+
+// HealthCodeResponse certifies one user. Now echoes the timestep the
+// window was anchored at (resolved server-side when the request omitted
+// it).
+type HealthCodeResponse struct {
+	User   int    `json:"user"`
+	Code   string `json:"code"`
+	Window int    `json:"window"`
+	Now    int    `json:"now"`
+}
+
+// DensityResponse carries per-region release counts at one timestep.
+type DensityResponse struct {
+	T      int   `json:"t"`
+	Counts []int `json:"counts"`
+}
+
+// DensitySeriesResponse carries per-region counts for each timestep in
+// [t0, t1].
+type DensitySeriesResponse struct {
+	T0     int     `json:"t0"`
+	T1     int     `json:"t1"`
+	Series [][]int `json:"series"`
+}
+
+// ExposureResponse carries the infected-place exposure series.
+type ExposureResponse struct {
+	T0       int   `json:"t0"`
+	T1       int   `json:"t1"`
+	Exposure []int `json:"exposure"`
+}
+
+// CensusResponse tallies health codes across all known users.
+type CensusResponse struct {
+	Census map[string]int `json:"census"`
+	Window int            `json:"window"`
+	Now    int            `json:"now"`
+}
+
+// cursorPrefix versions the cursor encoding so a future format change
+// can be detected rather than misparsed.
+const cursorPrefix = "t:"
+
+// EncodeCursor encodes the last-seen timestep into an opaque pagination
+// cursor.
+func EncodeCursor(lastT int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.Itoa(lastT)))
+}
+
+// DecodeCursor decodes a cursor produced by EncodeCursor back into the
+// last-seen timestep.
+func DecodeCursor(s string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("wire: malformed cursor: %v", err)
+	}
+	rest, ok := strings.CutPrefix(string(raw), cursorPrefix)
+	if !ok {
+		return 0, fmt.Errorf("wire: unknown cursor format")
+	}
+	t, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("wire: malformed cursor: %v", err)
+	}
+	return t, nil
+}

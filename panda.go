@@ -84,6 +84,10 @@ type Options struct {
 	// WindowEpsilon (sequential composition over "the past two weeks").
 	WindowSteps   int
 	WindowEpsilon float64
+	// StoreShards selects the number of independent lock shards for the
+	// released-location store (keyed by user), so concurrent ingestion
+	// scales with cores. 0 or 1 uses a single-lock store.
+	StoreShards int
 }
 
 // System is the server side of PANDA: the policy configuration module, the
@@ -112,7 +116,7 @@ func NewSystem(o Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := server.NewDB(grid)
+	db := server.NewShardedDB(grid, o.StoreShards)
 	srv, err := server.NewServer(db, mgr)
 	if err != nil {
 		return nil, err
@@ -135,8 +139,9 @@ func (s *System) CellCenter(cell int) Point { return s.grid.Center(cell) }
 // SnapToCell maps a plane point to its containing cell.
 func (s *System) SnapToCell(p Point) int { return s.grid.Snap(p) }
 
-// Handler returns the HTTP API of the server (report, policy, infected,
-// healthcode, density, records endpoints); mount it with
+// Handler returns the HTTP API of the server, serving both the legacy
+// /v1 surface and the typed /v2 surface (batch reporting, cursor
+// pagination, inline policy renegotiation — see API.md); mount it with
 // http.ListenAndServe.
 func (s *System) Handler() http.Handler { return s.srv.Handler() }
 
@@ -160,10 +165,14 @@ func (s *System) MovementMatrix(t1, t2, blockRows, blockCols int) [][]int {
 	return s.db.MovementMatrix(t1, t2, blockRows, blockCols)
 }
 
-// HealthCodeFor certifies a user from their released locations within the
-// last `window` timesteps (≤0 = all history).
-func (s *System) HealthCodeFor(user, window int) HealthCode {
-	return s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window)
+// HealthCodeFor certifies a user from their released locations within
+// the last `window` timesteps anchored at `now` (window ≤ 0 = all
+// history; now < 0 = the latest timestep in the database). Anchoring at
+// an explicit clock — not the user's own latest record — means a user
+// who stopped reporting ages out of the window instead of keeping an
+// eternally fresh certificate.
+func (s *System) HealthCodeFor(user, window, now int) HealthCode {
+	return s.db.HealthCodeFor(user, s.mgr.InfectedCells(), window, now)
 }
 
 // PolicyVersion returns a user's current policy version.
@@ -181,9 +190,10 @@ func (s *System) ExposureSeries(t0, t1 int) ([]int, error) {
 	return s.db.InfectedExposureSeries(t0, t1, s.mgr.InfectedCells())
 }
 
-// HealthCodeCensus certifies every known user and tallies the codes.
-func (s *System) HealthCodeCensus(window int) map[HealthCode]int {
-	return s.db.CodeCensus(s.mgr.InfectedCells(), window)
+// HealthCodeCensus certifies every known user against the same clock
+// `now` (negative = latest timestep) and tallies the codes.
+func (s *System) HealthCodeCensus(window, now int) map[HealthCode]int {
+	return s.db.CodeCensus(s.mgr.InfectedCells(), window, now)
 }
 
 // Records returns a user's stored releases in time order.
@@ -248,41 +258,64 @@ func (u *User) refreshPolicy() error {
 // Report releases the user's true cell at timestep t under their current
 // policy and stores the result in the system's database. If the policy
 // changed since the last report (e.g. an infection update), the user's
-// mechanism is rebuilt first.
+// mechanism is rebuilt first. It is a batch of one.
 func (u *User) Report(t, trueCell int) (Release, error) {
-	if u.sys.mgr.Version(u.id) != u.ver {
-		if err := u.refreshPolicy(); err != nil {
-			return Release{}, err
-		}
-	}
-	if u.window != nil {
-		if err := u.window.Spend(t, u.rel.Policy().Epsilon); err != nil {
-			return Release{}, fmt.Errorf("panda: user %d: %w", u.id, err)
-		}
-	}
-	p, cell, err := u.rel.ReleaseCell(u.rand, trueCell)
+	rels, err := u.ReportBatch(t, []int{trueCell})
 	if err != nil {
 		return Release{}, err
 	}
-	rec := server.Record{User: u.id, T: t, Point: p, Cell: cell, PolicyVersion: u.ver}
-	if err := u.sys.db.Insert(rec); err != nil {
-		return Release{}, err
-	}
-	return Release{Point: p, Cell: cell, T: t}, nil
+	return rels[0], nil
 }
 
-// ReportHistory re-sends a window of true cells (one release per step),
-// as the contact-tracing protocol requires after a policy update.
-func (u *User) ReportHistory(fromT int, cells []int) ([]Release, error) {
+// ReportBatch releases a run of true cells (one release per step,
+// starting at fromT) under the user's current policy and stores them all
+// in one batch insert — the whole-history re-send of the contact-tracing
+// protocol in a single storage round trip. The policy is refreshed once
+// up front; window budgeting, when configured, is charged per step.
+func (u *User) ReportBatch(fromT int, cells []int) ([]Release, error) {
+	// Reject bad timesteps and cells before any budget is spent: the
+	// window accountant's charges are not refundable, so nothing may
+	// fail between the first Spend and the batch insert.
+	if fromT < 0 {
+		return nil, fmt.Errorf("panda: negative timestep %d", fromT)
+	}
+	for _, c := range cells {
+		if c < 0 || c >= u.sys.grid.NumCells() {
+			return nil, fmt.Errorf("panda: cell %d out of range", c)
+		}
+	}
+	if u.sys.mgr.Version(u.id) != u.ver {
+		if err := u.refreshPolicy(); err != nil {
+			return nil, err
+		}
+	}
 	out := make([]Release, 0, len(cells))
+	recs := make([]server.Record, 0, len(cells))
 	for i, c := range cells {
-		r, err := u.Report(fromT+i, c)
+		t := fromT + i
+		if u.window != nil {
+			if err := u.window.Spend(t, u.rel.Policy().Epsilon); err != nil {
+				return nil, fmt.Errorf("panda: user %d: %w", u.id, err)
+			}
+		}
+		p, cell, err := u.rel.ReleaseCell(u.rand, c)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		out = append(out, Release{Point: p, Cell: cell, T: t})
+		recs = append(recs, server.Record{User: u.id, T: t, Point: p, Cell: cell, PolicyVersion: u.ver})
+	}
+	if _, _, err := u.sys.db.InsertBatch(recs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ReportHistory re-sends a window of true cells, as the contact-tracing
+// protocol requires after a policy update. It is ReportBatch under the
+// legacy name.
+func (u *User) ReportHistory(fromT int, cells []int) ([]Release, error) {
+	return u.ReportBatch(fromT, cells)
 }
 
 // PolicyVersion returns the policy version the user's mechanism is bound to.

@@ -114,7 +114,7 @@ func TestInfectionUpdateTriggersPolicyRefresh(t *testing.T) {
 	if _, err := bob.Report(1, 21); err != nil {
 		t.Fatal(err)
 	}
-	if code := sys.HealthCodeFor(2, 0); code != CodeRed {
+	if code := sys.HealthCodeFor(2, 0, -1); code != CodeRed {
 		t.Errorf("health code = %v, want red", code)
 	}
 	if got := sys.InfectedCells(); len(got) != 2 {
@@ -134,6 +134,58 @@ func TestReportHistory(t *testing.T) {
 	}
 	if len(sys.Records(5)) != 3 {
 		t.Error("history not stored")
+	}
+}
+
+func TestReportBatchShardedSystem(t *testing.T) {
+	opts := testOptions()
+	opts.StoreShards = 8
+	sys, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.NewUser(3, GEM, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]int, 20)
+	for i := range cells {
+		cells[i] = i % sys.NumCells()
+	}
+	rels, err := u.ReportBatch(0, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 20 {
+		t.Fatalf("releases = %d, want 20", len(rels))
+	}
+	recs := sys.Records(3)
+	if len(recs) != 20 {
+		t.Fatalf("stored = %d, want 20", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.T != i {
+			t.Fatalf("record %d has T=%d, want time order", i, rec.T)
+		}
+	}
+	// Bad input is rejected before any budget is spent or data stored.
+	if _, err := u.ReportBatch(-1, []int{0}); err == nil {
+		t.Error("negative fromT should error")
+	}
+	if _, err := u.ReportBatch(30, []int{sys.NumCells()}); err == nil {
+		t.Error("out-of-range cell should error")
+	}
+	if len(sys.Records(3)) != 20 {
+		t.Error("rejected batches must store nothing")
+	}
+	// A policy update mid-stream is picked up by the next batch.
+	sys.MarkInfected([]int{cells[0]})
+	if _, err := u.ReportBatch(20, cells[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if u.PolicyVersion() != sys.PolicyVersion(3) {
+		t.Errorf("batch did not refresh policy: user=%d system=%d",
+			u.PolicyVersion(), sys.PolicyVersion(3))
 	}
 }
 
@@ -320,7 +372,7 @@ func TestSystemAnalyticsFacade(t *testing.T) {
 	if exposure[0] != 1 {
 		t.Errorf("exposure = %v", exposure)
 	}
-	census := sys.HealthCodeCensus(0)
+	census := sys.HealthCodeCensus(0, -1)
 	n := census[CodeGreen] + census[CodeYellow] + census[CodeRed]
 	if n != 1 {
 		t.Errorf("census covers %d users, want 1", n)
