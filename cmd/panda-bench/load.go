@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// loadConfig parameterizes the live-server load test (-load): /v2 batch
+// ingestion across many concurrent users followed by the cached
+// analytics queries, printing ingest rate and latency percentiles.
+type loadConfig struct {
+	url     string // target base URL; empty = in-process server
+	users   int    // concurrent users (one goroutine each)
+	steps   int    // releases per user
+	batch   int    // releases per POST /v2/reports request
+	queries int    // analytics queries per endpoint
+}
+
+// latencyRecorder collects per-request latencies, concurrently.
+type latencyRecorder struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (l *latencyRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+// percentiles returns p50/p90/p99 of the recorded latencies.
+func (l *latencyRecorder) percentiles() (p50, p90, p99 time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ds) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(l.ds, func(i, j int) bool { return l.ds[i] < l.ds[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(l.ds)))
+		if i >= len(l.ds) {
+			i = len(l.ds) - 1
+		}
+		return l.ds[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+func (l *latencyRecorder) report(w *os.File, name string, n int) {
+	p50, p90, p99 := l.percentiles()
+	fmt.Fprintf(w, "  %-22s %6d requests   p50 %-10v p90 %-10v p99 %v\n", name, n, p50, p90, p99)
+}
+
+// runLoad drives the load test: ingest everything, then hammer the
+// analytics endpoints (whose repeated queries exercise the engine's
+// cache). Returns a non-nil error on any failed request.
+func runLoad(cfg loadConfig) error {
+	base := cfg.url
+	if base == "" {
+		grid := geo.MustGrid(32, 32, 1)
+		mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+		if err != nil {
+			return err
+		}
+		srv, err := server.NewServer(server.NewShardedDB(grid, 16), mgr)
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("load: in-process server at %s (32x32 grid, 16 store shards)\n", base)
+	} else {
+		fmt.Printf("load: targeting %s\n", base)
+	}
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.users + 8}}
+
+	// Phase 1: batch ingestion, one goroutine per user.
+	fmt.Printf("load: ingesting %d users x %d releases (batches of %d)\n", cfg.users, cfg.steps, cfg.batch)
+	var (
+		wg        sync.WaitGroup
+		ingestLat latencyRecorder
+		errOnce   sync.Once
+		firstErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	ctx := context.Background()
+	start := time.Now()
+	for u := 0; u < cfg.users; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			client := server.NewClient(base, hc)
+			rng := rand.New(rand.NewPCG(uint64(user), 42))
+			for t0 := 0; t0 < cfg.steps; t0 += cfg.batch {
+				n := cfg.batch
+				if t0+n > cfg.steps {
+					n = cfg.steps - t0
+				}
+				releases := make([]wire.Release, n)
+				for i := range releases {
+					releases[i] = wire.Release{
+						T: t0 + i,
+						X: rng.Float64() * 32, Y: rng.Float64() * 32,
+					}
+				}
+				reqStart := time.Now()
+				if _, err := client.ReportBatchContext(ctx, user, releases); err != nil {
+					fail(fmt.Errorf("user %d batch at t=%d: %w", user, t0, err))
+					return
+				}
+				ingestLat.add(time.Since(reqStart))
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	total := cfg.users * cfg.steps
+	fmt.Printf("load: ingested %d releases in %v (%.0f releases/sec)\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	ingestLat.report(os.Stdout, "POST /v2/reports", cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
+
+	// Phase 2: analytics queries. Repeated shapes hit the engine cache;
+	// the first of each shape computes it.
+	fmt.Printf("load: running %d queries per analytics endpoint\n", cfg.queries)
+	endpoints := []struct {
+		name string
+		lat  *latencyRecorder
+		call func(c *server.Client, rng *rand.Rand) error
+	}{
+		{"GET /v2/density", &latencyRecorder{}, func(c *server.Client, rng *rand.Rand) error {
+			_, err := c.DensityContext(ctx, int(rng.Int64N(int64(cfg.steps))), 4, 4)
+			return err
+		}},
+		{"GET /v2/density/series", &latencyRecorder{}, func(c *server.Client, rng *rand.Rand) error {
+			t0 := int(rng.Int64N(int64(max(1, cfg.steps-10))))
+			_, err := c.DensitySeriesContext(ctx, t0, min(t0+9, cfg.steps-1), 4, 4)
+			return err
+		}},
+		{"GET /v2/census", &latencyRecorder{}, func(c *server.Client, rng *rand.Rand) error {
+			_, err := c.CensusContext(ctx, 10, cfg.steps-1)
+			return err
+		}},
+	}
+	conc := min(cfg.users, 32)
+	for _, ep := range endpoints {
+		var qwg sync.WaitGroup
+		per := (cfg.queries + conc - 1) / conc
+		for w := 0; w < conc; w++ {
+			qwg.Add(1)
+			go func(seed int) {
+				defer qwg.Done()
+				client := server.NewClient(base, hc)
+				rng := rand.New(rand.NewPCG(uint64(seed), 7))
+				for i := 0; i < per; i++ {
+					reqStart := time.Now()
+					if err := ep.call(client, rng); err != nil {
+						fail(fmt.Errorf("%s: %w", ep.name, err))
+						return
+					}
+					ep.lat.add(time.Since(reqStart))
+				}
+			}(w)
+		}
+		qwg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		ep.lat.report(os.Stdout, ep.name, conc*per)
+	}
+	return nil
+}

@@ -9,6 +9,14 @@
 //	panda-bench               # run everything at paper scale
 //	panda-bench -exp E1,E4    # selected experiments
 //	panda-bench -quick        # miniature configuration (CI smoke)
+//
+// It also carries the live-server load harness (see load.go): /v2 batch
+// ingestion across many concurrent users plus the cached analytics
+// endpoints, printing ingest rate and per-endpoint latency percentiles.
+//
+//	panda-bench -load                          # in-process server
+//	panda-bench -load -url http://host:8080    # against a running server
+//	panda-bench -load -lusers 500 -lsteps 200 -lbatch 50 -lqueries 2000
 package main
 
 import (
@@ -27,8 +35,28 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 		users   = flag.Int("users", 0, "override the number of users (0 keeps the default)")
 		steps   = flag.Int("steps", 0, "override the trajectory length (0 keeps the default)")
+
+		load     = flag.Bool("load", false, "run the live-server load test instead of the experiments")
+		loadURL  = flag.String("url", "", "load: base URL of a running server (empty = in-process)")
+		lUsers   = flag.Int("lusers", 200, "load: concurrent users")
+		lSteps   = flag.Int("lsteps", 100, "load: releases per user")
+		lBatch   = flag.Int("lbatch", 25, "load: releases per batch request")
+		lQueries = flag.Int("lqueries", 1000, "load: queries per analytics endpoint")
 	)
 	flag.Parse()
+
+	if *load {
+		cfg := loadConfig{url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries}
+		if cfg.users < 1 || cfg.steps < 1 || cfg.batch < 1 || cfg.queries < 1 {
+			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")
+			os.Exit(2)
+		}
+		if err := runLoad(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "panda-bench: load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {

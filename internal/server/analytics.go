@@ -1,69 +1,31 @@
 package server
 
-import (
-	"fmt"
-	"sort"
-)
+// The aggregate queries live in the analytics package (internal/server/
+// analytics), where they are served from epoch-versioned caches over the
+// store's timestep index. The DB methods below are thin compatibility
+// shims so embedded callers (the examples, the panda facade) keep their
+// one-object view of the server.
 
 // DensitySeries returns, for each timestep in [t0, t1], the released-
 // location counts per region — the time dimension of the location-
 // monitoring app ("people's movement between different cities along with
-// the incidence rate in each city").
+// the incidence rate in each city"). Each timestep is cached
+// individually by the engine.
 func (db *DB) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
-	if t1 < t0 {
-		return nil, fmt.Errorf("server: inverted time range [%d, %d]", t0, t1)
-	}
-	out := make([][]int, 0, t1-t0+1)
-	for t := t0; t <= t1; t++ {
-		out = append(out, db.DensityAt(t, blockRows, blockCols))
-	}
-	return out, nil
+	return db.engine.DensitySeries(t0, t1, blockRows, blockCols)
 }
 
 // InfectedExposureSeries returns, per timestep in [t0, t1], how many users
 // reported a location in an infected cell — the incidence proxy the health
 // authority watches on released data only.
 func (db *DB) InfectedExposureSeries(t0, t1 int, infected []int) ([]int, error) {
-	if t1 < t0 {
-		return nil, fmt.Errorf("server: inverted time range [%d, %d]", t0, t1)
-	}
-	inf := make(map[int]bool, len(infected))
-	for _, c := range infected {
-		inf[c] = true
-	}
-	out := make([]int, 0, t1-t0+1)
-	for t := t0; t <= t1; t++ {
-		n := 0
-		for _, rec := range db.At(t) {
-			if inf[rec.Cell] {
-				n++
-			}
-		}
-		out = append(out, n)
-	}
-	return out, nil
+	return db.engine.InfectedExposureSeries(t0, t1, infected)
 }
 
 // TopRegions returns the k busiest regions at timestep t, as (region,
 // count) pairs in descending count (ties by region index).
 func (db *DB) TopRegions(t, blockRows, blockCols, k int) [][2]int {
-	counts := db.DensityAt(t, blockRows, blockCols)
-	pairs := make([][2]int, 0, len(counts))
-	for r, c := range counts {
-		if c > 0 {
-			pairs = append(pairs, [2]int{r, c})
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i][1] != pairs[j][1] {
-			return pairs[i][1] > pairs[j][1]
-		}
-		return pairs[i][0] < pairs[j][0]
-	})
-	if k > 0 && len(pairs) > k {
-		pairs = pairs[:k]
-	}
-	return pairs
+	return db.engine.TopRegions(t, blockRows, blockCols, k)
 }
 
 // CodeCensus certifies every known user and tallies the health codes —
@@ -71,12 +33,5 @@ func (db *DB) TopRegions(t, blockRows, blockCols, k int) [][2]int {
 // anchored at `now` (negative = the database's latest timestep) so every
 // user is certified against the same clock.
 func (db *DB) CodeCensus(infected []int, window, now int) map[HealthCode]int {
-	if now < 0 {
-		now = db.MaxT()
-	}
-	out := map[HealthCode]int{CodeGreen: 0, CodeYellow: 0, CodeRed: 0}
-	for _, u := range db.Users() {
-		out[db.HealthCodeFor(u, infected, window, now)]++
-	}
-	return out
+	return db.engine.CodeCensus(infected, window, now)
 }

@@ -1,0 +1,92 @@
+package analytics
+
+// Code is the certification level of the health-code service.
+type Code string
+
+// Codes, ordered by increasing risk.
+const (
+	CodeGreen  Code = "green"  // no recorded visit to an infected place
+	CodeYellow Code = "yellow" // one recorded visit
+	CodeRed    Code = "red"    // two or more recorded visits (the paper's contact rule)
+)
+
+// HealthCodeFor certifies a user from their released locations: visits
+// to infected cells within the last `window` timesteps before `now`
+// (records with T > now-window) are counted; window ≤ 0 counts all
+// history. A negative `now` resolves to the store's latest timestep.
+// The window is anchored at an explicit `now` rather than the user's
+// own latest record, so a user who stopped reporting ages out of the
+// window instead of keeping an eternally-fresh certificate. Because it
+// runs on released data only, the certificate is privacy-preserving by
+// post-processing.
+func (e *Engine) HealthCodeFor(user int, infected []int, window, now int) Code {
+	if now < 0 {
+		now = e.store.MaxT()
+	}
+	return e.healthCode(user, cellSet(infected), window, now)
+}
+
+// healthCode is HealthCodeFor with the infected set prebuilt and `now`
+// already resolved — the census loop calls it once per user.
+func (e *Engine) healthCode(user int, inf map[int]bool, window, now int) Code {
+	visits := 0
+	for _, r := range e.store.UserRecords(user) {
+		// The window is (now-window, now]: records after the anchor are
+		// just as out-of-window as records before it, so a historical
+		// `now` never counts visits that hadn't happened yet.
+		if window > 0 && (r.T <= now-window || r.T > now) {
+			continue
+		}
+		if inf[r.Cell] {
+			visits++
+		}
+	}
+	switch {
+	case visits >= 2:
+		return CodeRed
+	case visits == 1:
+		return CodeYellow
+	default:
+		return CodeGreen
+	}
+}
+
+// CodeCensus certifies every known user and tallies the health codes —
+// the population-level view of the health-code service. The window is
+// anchored at `now` (negative = the store's latest timestep) so every
+// user is certified against the same clock. The tally is cached against
+// the store's global Epoch: any write anywhere invalidates it, because
+// a census over all history cannot be pinned to one timestep.
+func (e *Engine) CodeCensus(infected []int, window, now int) map[Code]int {
+	if now < 0 {
+		now = e.store.MaxT()
+	}
+	key := censusKey{window: window, now: now, infected: infectedKey(infected)}
+	epoch := e.store.Epoch() // before the scan: see the coherence note
+	e.mu.RLock()
+	ent, ok := e.census[key]
+	e.mu.RUnlock()
+	if ok && ent.epoch == epoch {
+		return copyCensus(ent.census)
+	}
+	inf := cellSet(infected)
+	out := map[Code]int{CodeGreen: 0, CodeYellow: 0, CodeRed: 0}
+	for _, u := range e.store.Users() {
+		out[e.healthCode(u, inf, window, now)]++
+	}
+	e.mu.Lock()
+	if len(e.census) >= maxCensusEntries {
+		e.census = make(map[censusKey]censusEntry)
+	}
+	e.census[key] = censusEntry{epoch: epoch, census: out}
+	e.mu.Unlock()
+	return copyCensus(out)
+}
+
+func copyCensus(m map[Code]int) map[Code]int {
+	out := make(map[Code]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

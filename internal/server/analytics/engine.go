@@ -1,0 +1,228 @@
+// Package analytics is the cached aggregate-query engine of PANDA's
+// server side: regional density grids, infected-exposure series, and
+// the population health-code census, computed over released records
+// only (so everything here is privacy-preserving post-processing).
+//
+// The Engine layers epoch-versioned caches over a storage.Store. Every
+// cached aggregate remembers the store's write generation at compute
+// time — the per-timestep Gen(t) for per-timestep aggregates, the
+// global Epoch for whole-dataset ones — and is served only while that
+// generation is still current. A write to timestep t therefore
+// invalidates exactly t's cached aggregates: batch-ingesting historical
+// data evicts only the touched steps, and the hot dashboard window
+// stays cached.
+//
+// Cache coherence relies on one ordering rule: the generation is read
+// *before* the records are scanned. A write racing with the scan may or
+// may not be visible in the computed aggregate, but it necessarily
+// bumps the generation past the value recorded with the cache entry, so
+// the next query recomputes. A cache entry can be invalidated
+// spuriously, never served stale.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// Cache size caps. Keys are query shapes ((t, block dims) or (range,
+// infected set)), not data, so these are generous; on overflow the map
+// is reset wholesale rather than LRU-tracked — refilling is one
+// recompute per hot key.
+const (
+	maxDensityEntries  = 1 << 16
+	maxExposureEntries = 1 << 16
+	maxCensusEntries   = 1 << 12
+)
+
+type densityKey struct{ t, blockRows, blockCols int }
+
+type densityEntry struct {
+	gen    uint64
+	counts []int
+}
+
+type exposureKey struct {
+	t        int
+	infected string // canonical form of the infected cell set
+}
+
+type exposureEntry struct {
+	gen   uint64
+	count int
+}
+
+type censusKey struct {
+	window, now int
+	infected    string
+}
+
+type censusEntry struct {
+	epoch  uint64
+	census map[Code]int
+}
+
+// Engine serves the aggregate queries from epoch-versioned caches over
+// a Store. It is safe for concurrent use; concurrent misses on the same
+// key recompute redundantly rather than blocking each other.
+type Engine struct {
+	grid  *geo.Grid
+	store storage.Store
+
+	mu       sync.RWMutex
+	density  map[densityKey]densityEntry
+	exposure map[exposureKey]exposureEntry
+	census   map[censusKey]censusEntry
+}
+
+// New creates an engine over the grid and store.
+func New(grid *geo.Grid, store storage.Store) *Engine {
+	return &Engine{
+		grid:     grid,
+		store:    store,
+		density:  make(map[densityKey]densityEntry),
+		exposure: make(map[exposureKey]exposureEntry),
+		census:   make(map[censusKey]censusEntry),
+	}
+}
+
+// DensityAt returns the number of released locations per
+// blockRows×blockCols region at timestep t — the location-monitoring
+// aggregate. The returned slice is the caller's to keep.
+func (e *Engine) DensityAt(t, blockRows, blockCols int) []int {
+	key := densityKey{t: t, blockRows: blockRows, blockCols: blockCols}
+	gen := e.store.Gen(t) // before the scan: see the coherence note above
+	e.mu.RLock()
+	ent, ok := e.density[key]
+	e.mu.RUnlock()
+	if ok && ent.gen == gen {
+		return append([]int(nil), ent.counts...)
+	}
+	counts := make([]int, e.grid.NumRegions(blockRows, blockCols))
+	e.store.ScanRange(t, t, func(rec storage.Record) bool {
+		counts[e.grid.RegionOf(rec.Cell, blockRows, blockCols)]++
+		return true
+	})
+	e.mu.Lock()
+	if len(e.density) >= maxDensityEntries {
+		e.density = make(map[densityKey]densityEntry)
+	}
+	e.density[key] = densityEntry{gen: gen, counts: counts}
+	e.mu.Unlock()
+	return append([]int(nil), counts...)
+}
+
+// DensitySeries returns DensityAt for each timestep in [t0, t1]. Each
+// timestep is cached individually, so a repeated dashboard window is
+// served entirely from cache and a write to one step evicts only that
+// step's entry.
+func (e *Engine) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
+	if t1 < t0 {
+		return nil, fmt.Errorf("analytics: inverted time range [%d, %d]", t0, t1)
+	}
+	out := make([][]int, 0, t1-t0+1)
+	for t := t0; t <= t1; t++ {
+		out = append(out, e.DensityAt(t, blockRows, blockCols))
+	}
+	return out, nil
+}
+
+// TopRegions returns the k busiest regions at timestep t, as (region,
+// count) pairs in descending count (ties by region index).
+func (e *Engine) TopRegions(t, blockRows, blockCols, k int) [][2]int {
+	counts := e.DensityAt(t, blockRows, blockCols)
+	pairs := make([][2]int, 0, len(counts))
+	for r, c := range counts {
+		if c > 0 {
+			pairs = append(pairs, [2]int{r, c})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][1] != pairs[j][1] {
+			return pairs[i][1] > pairs[j][1]
+		}
+		return pairs[i][0] < pairs[j][0]
+	})
+	if k > 0 && len(pairs) > k {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// ExposureAt returns how many users reported a location in an infected
+// cell at timestep t.
+func (e *Engine) ExposureAt(t int, infected []int) int {
+	key := exposureKey{t: t, infected: infectedKey(infected)}
+	gen := e.store.Gen(t)
+	e.mu.RLock()
+	ent, ok := e.exposure[key]
+	e.mu.RUnlock()
+	if ok && ent.gen == gen {
+		return ent.count
+	}
+	inf := cellSet(infected)
+	n := 0
+	e.store.ScanRange(t, t, func(rec storage.Record) bool {
+		if inf[rec.Cell] {
+			n++
+		}
+		return true
+	})
+	e.mu.Lock()
+	if len(e.exposure) >= maxExposureEntries {
+		e.exposure = make(map[exposureKey]exposureEntry)
+	}
+	e.exposure[key] = exposureEntry{gen: gen, count: n}
+	e.mu.Unlock()
+	return n
+}
+
+// InfectedExposureSeries returns ExposureAt for each timestep in
+// [t0, t1] — the incidence proxy the health authority watches on
+// released data only.
+func (e *Engine) InfectedExposureSeries(t0, t1 int, infected []int) ([]int, error) {
+	if t1 < t0 {
+		return nil, fmt.Errorf("analytics: inverted time range [%d, %d]", t0, t1)
+	}
+	out := make([]int, 0, t1-t0+1)
+	for t := t0; t <= t1; t++ {
+		out = append(out, e.ExposureAt(t, infected))
+	}
+	return out, nil
+}
+
+// cellSet builds a membership set from a cell list.
+func cellSet(cells []int) map[int]bool {
+	set := make(map[int]bool, len(cells))
+	for _, c := range cells {
+		set[c] = true
+	}
+	return set
+}
+
+// infectedKey canonicalizes an infected cell list (sorted, deduplicated)
+// into a cache-key string, so equivalent sets share cache entries.
+func infectedKey(cells []int) string {
+	if len(cells) == 0 {
+		return ""
+	}
+	cs := append([]int(nil), cells...)
+	sort.Ints(cs)
+	var b strings.Builder
+	for i, c := range cs {
+		if i > 0 && cs[i-1] == c {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package analytics
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// countingStore wraps a Store and counts the read calls the engine
+// makes, so tests can observe cache hits and misses directly.
+type countingStore struct {
+	storage.Store
+	scanRanges atomic.Int64
+	userReads  atomic.Int64
+}
+
+func (c *countingStore) ScanRange(t0, t1 int, fn func(storage.Record) bool) {
+	c.scanRanges.Add(1)
+	c.Store.ScanRange(t0, t1, fn)
+}
+
+func (c *countingStore) UserRecords(user int) []storage.Record {
+	c.userReads.Add(1)
+	return c.Store.UserRecords(user)
+}
+
+func testEngine(t *testing.T) (*Engine, *countingStore) {
+	t.Helper()
+	grid := geo.MustGrid(4, 4, 1)
+	cs := &countingStore{Store: storage.NewMemStore()}
+	e := New(grid, cs)
+	// Three users over 3 steps; user 2 visits infected cell 5 twice.
+	inserts := []storage.Record{
+		{User: 0, T: 0, Cell: 0}, {User: 0, T: 1, Cell: 1}, {User: 0, T: 2, Cell: 2},
+		{User: 1, T: 0, Cell: 15}, {User: 1, T: 1, Cell: 15}, {User: 1, T: 2, Cell: 14},
+		{User: 2, T: 0, Cell: 5}, {User: 2, T: 1, Cell: 5}, {User: 2, T: 2, Cell: 6},
+	}
+	for _, rec := range inserts {
+		cs.Insert(rec)
+	}
+	return e, cs
+}
+
+func TestDensityAtCorrectAndCached(t *testing.T) {
+	e, cs := testEngine(t)
+	first := e.DensityAt(0, 2, 2)
+	// t=0: cells 0 (region 0), 15 (region 3), 5 (region 0).
+	if first[0] != 2 || first[3] != 1 {
+		t.Fatalf("density at t=0 = %v", first)
+	}
+	scans := cs.scanRanges.Load()
+	again := e.DensityAt(0, 2, 2)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("cached density %v != first %v", again, first)
+	}
+	if got := cs.scanRanges.Load(); got != scans {
+		t.Errorf("cache hit rescanned the store (%d -> %d scans)", scans, got)
+	}
+	// The returned slice is the caller's: mutating it must not corrupt
+	// the cache.
+	again[0] = 99
+	if third := e.DensityAt(0, 2, 2); third[0] != 2 {
+		t.Errorf("caller mutation leaked into cache: %v", third)
+	}
+	// A different block shape is a different cache key.
+	fine := e.DensityAt(0, 1, 1)
+	if len(fine) != 16 || fine[5] != 1 {
+		t.Errorf("1x1 density = %v", fine)
+	}
+}
+
+// TestDensityInvalidationPerTimestep is the acceptance test for the
+// invalidation contract: a write to timestep t evicts t's cached
+// aggregates and nothing else.
+func TestDensityInvalidationPerTimestep(t *testing.T) {
+	e, cs := testEngine(t)
+	d0 := e.DensityAt(0, 2, 2)
+	d1 := e.DensityAt(1, 2, 2)
+	base := cs.scanRanges.Load()
+	// Both hot: no scans.
+	e.DensityAt(0, 2, 2)
+	e.DensityAt(1, 2, 2)
+	if got := cs.scanRanges.Load(); got != base {
+		t.Fatalf("hot queries rescanned (%d -> %d)", base, got)
+	}
+	// Write (a brand-new user) to t=1 only.
+	cs.Insert(storage.Record{User: 7, T: 1, Cell: 0})
+	got0 := e.DensityAt(0, 2, 2)
+	if cs.scanRanges.Load() != base {
+		t.Errorf("write to t=1 invalidated t=0's cache entry")
+	}
+	if !reflect.DeepEqual(got0, d0) {
+		t.Errorf("t=0 density changed: %v -> %v", d0, got0)
+	}
+	got1 := e.DensityAt(1, 2, 2)
+	if cs.scanRanges.Load() != base+1 {
+		t.Errorf("write to t=1 did not invalidate t=1 (scans %d -> %d)", base, cs.scanRanges.Load())
+	}
+	if got1[0] != d1[0]+1 {
+		t.Errorf("t=1 density after write = %v, want region 0 bumped from %v", got1, d1)
+	}
+	// A replacement (same user, same t) must also invalidate: the
+	// record moved cells even though none was added.
+	cs.Insert(storage.Record{User: 7, T: 1, Cell: 15})
+	moved := e.DensityAt(1, 2, 2)
+	if moved[0] != d1[0] || moved[3] != d1[3]+1 {
+		t.Errorf("replacement not reflected: %v (was %v)", moved, d1)
+	}
+}
+
+func TestDensitySeries(t *testing.T) {
+	e, cs := testEngine(t)
+	series, err := e.DensitySeries(0, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 || series[0][0] != 2 || series[0][3] != 1 {
+		t.Fatalf("series = %v", series)
+	}
+	if _, err := e.DensitySeries(2, 0, 2, 2); err == nil {
+		t.Error("inverted range should error")
+	}
+	// A repeated series over the same window is all cache hits.
+	base := cs.scanRanges.Load()
+	again, err := e.DensitySeries(0, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(series, again) {
+		t.Errorf("repeated series differs: %v vs %v", series, again)
+	}
+	if got := cs.scanRanges.Load(); got != base {
+		t.Errorf("repeated series rescanned (%d -> %d)", base, got)
+	}
+}
+
+func TestExposureSeriesCachedPerInfectedSet(t *testing.T) {
+	e, cs := testEngine(t)
+	series, err := e.InfectedExposureSeries(0, 2, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 1, 0}; !reflect.DeepEqual(series, want) {
+		t.Fatalf("exposure = %v, want %v", series, want)
+	}
+	if _, err := e.InfectedExposureSeries(1, 0, nil); err == nil {
+		t.Error("inverted range should error")
+	}
+	// The infected set is canonicalized: order and duplicates don't
+	// miss the cache.
+	base := cs.scanRanges.Load()
+	if _, err := e.InfectedExposureSeries(0, 2, []int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.scanRanges.Load(); got != base {
+		t.Errorf("equivalent infected set rescanned (%d -> %d)", base, got)
+	}
+	// A different set is a different key.
+	other, err := e.InfectedExposureSeries(0, 2, []int{14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 0, 1}; !reflect.DeepEqual(other, want) {
+		t.Errorf("exposure for cell 14 = %v, want %v", other, want)
+	}
+}
+
+func TestTopRegions(t *testing.T) {
+	e, _ := testEngine(t)
+	top := e.TopRegions(0, 2, 2, 1)
+	if len(top) != 1 || top[0] != [2]int{0, 2} {
+		t.Errorf("top = %v", top)
+	}
+	if all := e.TopRegions(0, 2, 2, 0); len(all) != 2 {
+		t.Errorf("all regions = %v", all)
+	}
+	if got := e.TopRegions(9, 2, 2, 3); len(got) != 0 {
+		t.Errorf("empty timestep top = %v", got)
+	}
+}
+
+func TestHealthCodeAndCensus(t *testing.T) {
+	e, cs := testEngine(t)
+	if code := e.HealthCodeFor(2, []int{5}, 0, -1); code != CodeRed {
+		t.Errorf("user 2 = %s, want red", code)
+	}
+	if code := e.HealthCodeFor(2, []int{5}, 1, 2); code != CodeGreen {
+		t.Errorf("user 2 with window 1 at now=2 = %s, want green", code)
+	}
+	census := e.CodeCensus([]int{5}, 0, -1)
+	if census[CodeRed] != 1 || census[CodeGreen] != 2 || census[CodeYellow] != 0 {
+		t.Fatalf("census = %v", census)
+	}
+	// Hot census: no per-user reads.
+	base := cs.userReads.Load()
+	again := e.CodeCensus([]int{5}, 0, -1)
+	if !reflect.DeepEqual(census, again) {
+		t.Errorf("cached census differs: %v vs %v", again, census)
+	}
+	if got := cs.userReads.Load(); got != base {
+		t.Errorf("hot census re-read users (%d -> %d)", base, got)
+	}
+	// Caller mutation must not corrupt the cache.
+	again[CodeGreen] = 99
+	if third := e.CodeCensus([]int{5}, 0, -1); third[CodeGreen] != 2 {
+		t.Errorf("caller mutation leaked into census cache: %v", third)
+	}
+	// Any write invalidates the census (global epoch).
+	cs.Insert(storage.Record{User: 3, T: 0, Cell: 5})
+	after := e.CodeCensus([]int{5}, 0, -1)
+	if after[CodeYellow] != 1 {
+		t.Errorf("census after new yellow user = %v", after)
+	}
+}

@@ -83,6 +83,128 @@ func BenchmarkV2BatchReports(b *testing.B) {
 func BenchmarkMemStoreInsertParallel(b *testing.B)     { benchStoreParallel(b, NewMemStore()) }
 func BenchmarkShardedStoreInsertParallel(b *testing.B) { benchStoreParallel(b, NewShardedStore(32)) }
 
+// --- read-path benchmarks: the seed's full-scan analytics vs the
+// timestep index and the engine's epoch-versioned cache ---
+
+const (
+	benchUsers = 2000
+	benchSteps = 50
+)
+
+// newAnalyticsBenchDB fills a DB with benchUsers users × benchSteps
+// timesteps (one record each), the monitoring workload's shape.
+func newAnalyticsBenchDB(b *testing.B) *DB {
+	b.Helper()
+	grid := geo.MustGrid(32, 32, 1)
+	db := NewShardedDB(grid, 16)
+	batch := make([]Record, 0, benchSteps)
+	for u := 0; u < benchUsers; u++ {
+		batch = batch[:0]
+		for t := 0; t < benchSteps; t++ {
+			batch = append(batch, Record{User: u, T: t, Cell: (u*31 + t) % grid.NumCells()})
+		}
+		if _, _, err := db.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// seedDensityAt recomputes density the way the seed code path did
+// before the timestep index and the analytics engine existed: a scan of
+// every stored record, filtering by t.
+func seedDensityAt(db *DB, t, blockRows, blockCols int) []int {
+	counts := make([]int, db.Grid().NumRegions(blockRows, blockCols))
+	db.Store().Scan(func(rec Record) bool {
+		if rec.T == t {
+			counts[db.Grid().RegionOf(rec.Cell, blockRows, blockCols)]++
+		}
+		return true
+	})
+	return counts
+}
+
+// BenchmarkDensityAtSeedUncached is the "before": every repeated query
+// rescans all users' histories.
+func BenchmarkDensityAtSeedUncached(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedDensityAt(db, i%benchSteps, 4, 4)
+	}
+}
+
+// BenchmarkDensityAtCached is the "after": repeated queries are served
+// from the engine's per-timestep cache.
+func BenchmarkDensityAtCached(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	db.DensityAt(0, 4, 4) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.DensityAt(i%benchSteps, 4, 4)
+	}
+}
+
+// BenchmarkDensitySeriesSeedUncached / Cached: the dashboard window
+// query (every timestep, every repeat) before and after the engine.
+func BenchmarkDensitySeriesSeedUncached(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < benchSteps; t++ {
+			seedDensityAt(db, t, 4, 4)
+		}
+	}
+}
+
+func BenchmarkDensitySeriesCached(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.DensitySeries(0, benchSteps-1, 4, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAtSeedScan vs BenchmarkStoreAtIndexed: collecting one
+// timestep's records by scanning everything (the seed's At) vs the
+// posting-list index.
+func BenchmarkStoreAtSeedScan(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % benchSteps
+		var out []Record
+		db.Store().Scan(func(rec Record) bool {
+			if rec.T == t {
+				out = append(out, rec)
+			}
+			return true
+		})
+	}
+}
+
+func BenchmarkStoreAtIndexed(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.At(i % benchSteps)
+	}
+}
+
+// BenchmarkCodeCensusCached measures the cached population census (the
+// first iteration computes, the rest hit the epoch-versioned entry).
+func BenchmarkCodeCensusCached(b *testing.B) {
+	db := newAnalyticsBenchDB(b)
+	infected := []int{1, 2, 3, 4, 5}
+	db.CodeCensus(infected, 10, benchSteps-1) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.CodeCensus(infected, 10, benchSteps-1)
+	}
+}
+
 func benchStoreParallel(b *testing.B, s Store) {
 	var nextUser atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"sync"
+	"time"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policygraph"
@@ -20,21 +23,61 @@ import (
 // stale_policy it ships the current policy inline, the client adopts it
 // and retries the report once — the paper's dynamic-policy update
 // without a second round trip.
+//
+// Every request path has a Context variant; the plain methods use
+// context.Background(). Transport errors and 5xx responses are retried
+// with capped, jittered exponential backoff (see RetryPolicy —
+// re-sending reports is safe because ingestion replaces on (user, t)).
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 
 	mu       sync.Mutex
 	policies map[int]ClientPolicy // last policy seen per user
 }
 
+// RetryPolicy configures the client's handling of transport errors and
+// 5xx responses. Non-5xx HTTP errors (4xx, including stale_policy) are
+// never retried here — they are protocol outcomes, not transient
+// failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 1 mean a single attempt (retry disabled).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Jitter keeps a fleet of clients from
+	// synchronizing: the actual sleep is uniform in [d/2, d]. Zero or
+	// negative inherits DefaultRetryPolicy's value, so a policy that
+	// only sets MaxAttempts still backs off.
+	BaseDelay time.Duration
+	// MaxDelay caps the (pre-jitter) backoff. Zero or negative inherits
+	// DefaultRetryPolicy's value.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the retry used by NewClient unless WithRetry
+// overrides it.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetry sets the client's retry policy. RetryPolicy{MaxAttempts: 1}
+// disables retries.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
 // NewClient creates a client for the given base URL (e.g.
 // "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient, policies: make(map[int]ClientPolicy)}
+	c := &Client{base: base, hc: httpClient, retry: DefaultRetryPolicy, policies: make(map[int]ClientPolicy)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // APIError is a decoded /v2 error envelope. On CodeStalePolicy, Policy
@@ -57,26 +100,104 @@ func IsStalePolicy(err error) bool {
 	return ok && ae.Code == wire.CodeStalePolicy
 }
 
-func (c *Client) post(path string, body, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("server client: encoding request: %w", err)
+// backoff returns the jittered sleep before retry number `retryN` (1-
+// based): exponential in BaseDelay, capped at MaxDelay, uniform in
+// [d/2, d]. Unset (non-positive) delay fields fall back to
+// DefaultRetryPolicy so a tight retry loop is impossible to configure
+// by accident.
+func (c *Client) backoff(retryN int) time.Duration {
+	base, max := c.retry.BaseDelay, c.retry.MaxDelay
+	if base <= 0 {
+		base = DefaultRetryPolicy.BaseDelay
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return fmt.Errorf("server client: POST %s: %w", path, err)
+	if max <= 0 {
+		max = DefaultRetryPolicy.MaxDelay
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	d := base << (retryN - 1)
+	if d <= 0 || d > max { // <= 0: shift overflow on absurd retryN
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
 }
 
-func (c *Client) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("server client: GET %s: %w", path, err)
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tm.C:
+		return nil
+	}
+}
+
+// do performs one API request with retry: transport errors and 5xx
+// responses are retried up to MaxAttempts with jittered exponential
+// backoff; everything else is decoded (into out or an *APIError) and
+// returned as-is.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("server client: encoding request: %w", err)
+		}
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, c.backoff(attempt-1)); err != nil {
+				return fmt.Errorf("server client: %s %s: %w (last error: %v)", method, path, err, lastErr)
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: %w", method, path, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("server client: %s %s: %w", method, path, err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		if resp.StatusCode >= 500 && attempt < attempts {
+			// Drain so the connection is reusable, remember the failure,
+			// and back off.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			lastErr = &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+			continue
+		}
+		err = decodeResponse(resp, out)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -127,8 +248,13 @@ func decodePolicy(p wire.Policy) (ClientPolicy, error) {
 // Policy fetches the user's current policy (graph included) and caches
 // it for automatic version negotiation.
 func (c *Client) Policy(user int) (ClientPolicy, error) {
+	return c.PolicyContext(context.Background(), user)
+}
+
+// PolicyContext is Policy under an explicit context.
+func (c *Client) PolicyContext(ctx context.Context, user int) (ClientPolicy, error) {
 	var raw wire.Policy
-	if err := c.get(fmt.Sprintf("/v2/policy?user=%d", user), &raw); err != nil {
+	if err := c.get(ctx, fmt.Sprintf("/v2/policy?user=%d", user), &raw); err != nil {
 		return ClientPolicy{}, err
 	}
 	cp, err := decodePolicy(raw)
@@ -151,11 +277,11 @@ func (c *Client) CachedPolicy(user int) (ClientPolicy, bool) {
 
 // policyVersion returns the cached version for the user, fetching the
 // policy on a cold cache.
-func (c *Client) policyVersion(user int) (int, error) {
+func (c *Client) policyVersion(ctx context.Context, user int) (int, error) {
 	if cp, ok := c.CachedPolicy(user); ok {
 		return cp.Version, nil
 	}
-	cp, err := c.Policy(user)
+	cp, err := c.PolicyContext(ctx, user)
 	if err != nil {
 		return 0, err
 	}
@@ -195,16 +321,21 @@ func (c *Client) adoptStalePolicy(user int, err error) bool {
 // releases — or use the in-process panda.User, which rebuilds its
 // mechanism on every policy change.
 func (c *Client) ReportBatch(user int, releases []wire.Release) (wire.BatchReportResponse, error) {
-	ver, err := c.policyVersion(user)
+	return c.ReportBatchContext(context.Background(), user, releases)
+}
+
+// ReportBatchContext is ReportBatch under an explicit context.
+func (c *Client) ReportBatchContext(ctx context.Context, user int, releases []wire.Release) (wire.BatchReportResponse, error) {
+	ver, err := c.policyVersion(ctx, user)
 	if err != nil {
 		return wire.BatchReportResponse{}, err
 	}
 	var out wire.BatchReportResponse
 	req := wire.BatchReportRequest{User: user, PolicyVersion: ver, Releases: releases}
-	err = c.post("/v2/reports", req, &out)
+	err = c.post(ctx, "/v2/reports", req, &out)
 	if err != nil && c.adoptStalePolicy(user, err) {
-		req.PolicyVersion, _ = c.policyVersion(user)
-		err = c.post("/v2/reports", req, &out)
+		req.PolicyVersion, _ = c.policyVersion(ctx, user)
+		err = c.post(ctx, "/v2/reports", req, &out)
 	}
 	if err != nil {
 		return wire.BatchReportResponse{}, err
@@ -214,13 +345,23 @@ func (c *Client) ReportBatch(user int, releases []wire.Release) (wire.BatchRepor
 
 // Report sends a single released location (a batch of one).
 func (c *Client) Report(user, t int, p geo.Point) error {
-	_, err := c.ReportBatch(user, []wire.Release{{T: t, X: p.X, Y: p.Y}})
+	return c.ReportContext(context.Background(), user, t, p)
+}
+
+// ReportContext is Report under an explicit context.
+func (c *Client) ReportContext(ctx context.Context, user, t int, p geo.Point) error {
+	_, err := c.ReportBatchContext(ctx, user, []wire.Release{{T: t, X: p.X, Y: p.Y}})
 	return err
 }
 
 // RecordsPage fetches one page of the user's stored releases. An empty
 // cursor starts from the beginning; limit <= 0 uses the server default.
 func (c *Client) RecordsPage(user int, cursor string, limit int) (wire.RecordsPage, error) {
+	return c.RecordsPageContext(context.Background(), user, cursor, limit)
+}
+
+// RecordsPageContext is RecordsPage under an explicit context.
+func (c *Client) RecordsPageContext(ctx context.Context, user int, cursor string, limit int) (wire.RecordsPage, error) {
 	q := url.Values{}
 	q.Set("user", fmt.Sprint(user))
 	if cursor != "" {
@@ -230,7 +371,7 @@ func (c *Client) RecordsPage(user int, cursor string, limit int) (wire.RecordsPa
 		q.Set("limit", fmt.Sprint(limit))
 	}
 	var page wire.RecordsPage
-	if err := c.get("/v2/records?"+q.Encode(), &page); err != nil {
+	if err := c.get(ctx, "/v2/records?"+q.Encode(), &page); err != nil {
 		return wire.RecordsPage{}, err
 	}
 	return page, nil
@@ -239,10 +380,15 @@ func (c *Client) RecordsPage(user int, cursor string, limit int) (wire.RecordsPa
 // Records fetches all of a user's stored releases, following pagination
 // cursors until the listing is complete.
 func (c *Client) Records(user int) ([]Record, error) {
+	return c.RecordsContext(context.Background(), user)
+}
+
+// RecordsContext is Records under an explicit context.
+func (c *Client) RecordsContext(ctx context.Context, user int) ([]Record, error) {
 	var out []Record
 	cursor := ""
 	for {
-		page, err := c.RecordsPage(user, cursor, maxPageLimit)
+		page, err := c.RecordsPageContext(ctx, user, cursor, maxPageLimit)
 		if err != nil {
 			return nil, err
 		}
@@ -260,9 +406,17 @@ func (c *Client) Records(user int) ([]Record, error) {
 }
 
 // MarkInfected publishes newly infected cells; returns affected users.
+// Note the one retry caveat of this endpoint: if a response is lost in
+// transit after the server applied the update, the retried call reports
+// the (now-empty) second application's changed list.
 func (c *Client) MarkInfected(cells []int) ([]int, error) {
+	return c.MarkInfectedContext(context.Background(), cells)
+}
+
+// MarkInfectedContext is MarkInfected under an explicit context.
+func (c *Client) MarkInfectedContext(ctx context.Context, cells []int) ([]int, error) {
 	var out wire.InfectedResponse
-	if err := c.post("/v2/infected", wire.InfectedRequest{Cells: cells}, &out); err != nil {
+	if err := c.post(ctx, "/v2/infected", wire.InfectedRequest{Cells: cells}, &out); err != nil {
 		return nil, err
 	}
 	return out.Changed, nil
@@ -272,6 +426,11 @@ func (c *Client) MarkInfected(cells []int) ([]int, error) {
 // timesteps anchored at `now` (window <= 0 = all history, now < 0 = the
 // server's latest timestep).
 func (c *Client) HealthCode(user, window, now int) (HealthCode, error) {
+	return c.HealthCodeContext(context.Background(), user, window, now)
+}
+
+// HealthCodeContext is HealthCode under an explicit context.
+func (c *Client) HealthCodeContext(ctx context.Context, user, window, now int) (HealthCode, error) {
 	path := fmt.Sprintf("/v2/healthcode?user=%d", user)
 	if window > 0 {
 		path += fmt.Sprintf("&window=%d", window)
@@ -280,7 +439,7 @@ func (c *Client) HealthCode(user, window, now int) (HealthCode, error) {
 		path += fmt.Sprintf("&now=%d", now)
 	}
 	var out wire.HealthCodeResponse
-	if err := c.get(path, &out); err != nil {
+	if err := c.get(ctx, path, &out); err != nil {
 		return "", err
 	}
 	return HealthCode(out.Code), nil
@@ -288,20 +447,31 @@ func (c *Client) HealthCode(user, window, now int) (HealthCode, error) {
 
 // Density fetches regional release counts at a timestep.
 func (c *Client) Density(t, blockRows, blockCols int) ([]int, error) {
+	return c.DensityContext(context.Background(), t, blockRows, blockCols)
+}
+
+// DensityContext is Density under an explicit context.
+func (c *Client) DensityContext(ctx context.Context, t, blockRows, blockCols int) ([]int, error) {
 	var out wire.DensityResponse
 	path := fmt.Sprintf("/v2/density?t=%d&block_rows=%d&block_cols=%d", t, blockRows, blockCols)
-	if err := c.get(path, &out); err != nil {
+	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	return out.Counts, nil
 }
 
-// DensitySeries fetches per-region counts for a timestep range.
+// DensitySeries fetches per-region counts for a timestep range, served
+// from the engine's per-timestep cache (GET /v2/density/series).
 func (c *Client) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error) {
+	return c.DensitySeriesContext(context.Background(), t0, t1, blockRows, blockCols)
+}
+
+// DensitySeriesContext is DensitySeries under an explicit context.
+func (c *Client) DensitySeriesContext(ctx context.Context, t0, t1, blockRows, blockCols int) ([][]int, error) {
 	var out wire.DensitySeriesResponse
-	path := fmt.Sprintf("/v2/density_series?t0=%d&t1=%d&block_rows=%d&block_cols=%d",
+	path := fmt.Sprintf("/v2/density/series?t0=%d&t1=%d&block_rows=%d&block_cols=%d",
 		t0, t1, blockRows, blockCols)
-	if err := c.get(path, &out); err != nil {
+	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	return out.Series, nil
@@ -309,8 +479,13 @@ func (c *Client) DensitySeries(t0, t1, blockRows, blockCols int) ([][]int, error
 
 // Exposure fetches the infected-place exposure series.
 func (c *Client) Exposure(t0, t1 int) ([]int, error) {
+	return c.ExposureContext(context.Background(), t0, t1)
+}
+
+// ExposureContext is Exposure under an explicit context.
+func (c *Client) ExposureContext(ctx context.Context, t0, t1 int) ([]int, error) {
 	var out wire.ExposureResponse
-	if err := c.get(fmt.Sprintf("/v2/exposure?t0=%d&t1=%d", t0, t1), &out); err != nil {
+	if err := c.get(ctx, fmt.Sprintf("/v2/exposure?t0=%d&t1=%d", t0, t1), &out); err != nil {
 		return nil, err
 	}
 	return out.Exposure, nil
@@ -318,6 +493,11 @@ func (c *Client) Exposure(t0, t1 int) ([]int, error) {
 
 // Census fetches the population health-code tally.
 func (c *Client) Census(window, now int) (map[HealthCode]int, error) {
+	return c.CensusContext(context.Background(), window, now)
+}
+
+// CensusContext is Census under an explicit context.
+func (c *Client) CensusContext(ctx context.Context, window, now int) (map[HealthCode]int, error) {
 	path := "/v2/census"
 	sep := "?"
 	if window > 0 {
@@ -328,7 +508,7 @@ func (c *Client) Census(window, now int) (map[HealthCode]int, error) {
 		path += fmt.Sprintf("%snow=%d", sep, now)
 	}
 	var out wire.CensusResponse
-	if err := c.get(path, &out); err != nil {
+	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	census := make(map[HealthCode]int, len(out.Census))

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// fastRetry is a test-friendly retry policy: three attempts with
+// near-zero backoff.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// TestClientRetries5xx: the client must absorb transient 5xx responses
+// and succeed within its attempt budget.
+func TestClientRetries5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient","code":"internal"}`, http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(wire.DensityResponse{T: 0, Counts: []int{1, 2}})
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry))
+	counts, err := client.Density(0, 2, 2)
+	if err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if !reflect.DeepEqual(counts, []int{1, 2}) {
+		t.Errorf("counts = %v", counts)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientRetryExhausted: a persistent 5xx surfaces as an *APIError
+// after exactly MaxAttempts tries.
+func TestClientRetryExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down","code":"internal"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry))
+	_, err := client.Density(0, 2, 2)
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want 500 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientRetryDisabled: MaxAttempts 1 means a single attempt, and
+// 4xx responses are never retried regardless of policy.
+func TestClientRetryDisabled(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		status := http.StatusInternalServerError
+		if r.URL.Query().Get("t") == "4" {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, `{"error":"nope","code":"bad_request"}`, status)
+	}))
+	defer ts.Close()
+	single := NewClient(ts.URL, ts.Client(), WithRetry(RetryPolicy{MaxAttempts: 1}))
+	if _, err := single.Density(0, 2, 2); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("disabled retry: server saw %d calls, want 1", got)
+	}
+	calls.Store(0)
+	retrying := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry))
+	if _, err := retrying.Density(4, 2, 2); !reflect.DeepEqual(calls.Load(), int64(1)) || err == nil {
+		t.Errorf("4xx: calls=%d err=%v, want 1 call and an error", calls.Load(), err)
+	}
+}
+
+// TestBackoffDefaults: a policy that only sets MaxAttempts still backs
+// off — unset delays inherit DefaultRetryPolicy instead of producing a
+// tight retry loop.
+func TestBackoffDefaults(t *testing.T) {
+	c := NewClient("http://example.invalid", nil, WithRetry(RetryPolicy{MaxAttempts: 5}))
+	for retry := 1; retry <= 4; retry++ {
+		if d := c.backoff(retry); d < DefaultRetryPolicy.BaseDelay/2 {
+			t.Errorf("backoff(%d) = %v, want >= %v", retry, d, DefaultRetryPolicy.BaseDelay/2)
+		}
+	}
+	// Backoff is capped even for huge retry counts (no shift overflow).
+	if d := c.backoff(200); d > DefaultRetryPolicy.MaxDelay {
+		t.Errorf("backoff(200) = %v exceeds cap %v", d, DefaultRetryPolicy.MaxDelay)
+	}
+}
+
+// TestClientRetriesTransportError: a connection torn down mid-request
+// is retried like a 5xx.
+func TestClientRetriesTransportError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("response writer does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // abrupt EOF: a transport error at the client
+			return
+		}
+		_ = json.NewEncoder(w).Encode(wire.DensityResponse{T: 0, Counts: []int{7}})
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry))
+	counts, err := client.Density(0, 1, 1)
+	if err != nil {
+		t.Fatalf("request after transport error failed: %v", err)
+	}
+	if !reflect.DeepEqual(counts, []int{7}) {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+// TestClientContextCancellation: a cancelled context aborts the request
+// (and its retries) promptly.
+func TestClientContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.DensityContext(ctx, 0, 1, 1); err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestV2DensitySeriesEndpoint: the canonical /v2/density/series path and
+// the legacy /v2/density_series alias answer the same query, and the
+// typed client speaks the canonical path.
+func TestV2DensitySeriesEndpoint(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	for u := 0; u < 4; u++ {
+		for ti := 0; ti < 3; ti++ {
+			if err := client.Report(u, ti, grid.Center((u+ti)%grid.NumCells())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fetch := func(path string) wire.DensitySeriesResponse {
+		t.Helper()
+		resp, err := http.Get(client.baseURL() + path + "?t0=0&t1=2&block_rows=2&block_cols=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var out wire.DensitySeriesResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	canonical := fetch("/v2/density/series")
+	alias := fetch("/v2/density_series")
+	if !reflect.DeepEqual(canonical, alias) {
+		t.Errorf("canonical %+v != alias %+v", canonical, alias)
+	}
+	if len(canonical.Series) != 3 {
+		t.Fatalf("series length = %d", len(canonical.Series))
+	}
+	viaClient, err := client.DensitySeries(0, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaClient, canonical.Series) {
+		t.Errorf("client series %v != endpoint series %v", viaClient, canonical.Series)
+	}
+	// Range validation still applies on the canonical path.
+	if status, e := getV2(t, client.baseURL(), "/v2/density/series?t0=3&t1=1&block_rows=2&block_cols=2"); status != http.StatusBadRequest || e.Code != wire.CodeBadRequest {
+		t.Errorf("inverted range: status=%d code=%q", status, e.Code)
+	}
+	// An unbounded span is rejected, not allocated — including the
+	// t1-t0+1 overflow case at t1 = MaxInt.
+	for _, t1 := range []string{"2000000000", "9223372036854775807"} {
+		if status, e := getV2(t, client.baseURL(), "/v2/density/series?t0=0&t1="+t1+"&block_rows=2&block_cols=2"); status != http.StatusBadRequest || e.Code != wire.CodeBadRequest {
+			t.Errorf("huge span t1=%s: status=%d code=%q", t1, status, e.Code)
+		}
+	}
+}

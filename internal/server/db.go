@@ -1,37 +1,38 @@
 // Package server implements PANDA's untrusted (semi-honest) server side
-// (Fig. 1/3): a pluggable store of released locations, the aggregate
-// queries behind the location-monitoring app (regional density and
-// movement flows), the privacy-preserving "health code" service, and a
-// versioned HTTP API (/v1 legacy, /v2 typed) with a matching client that
-// plays the role of the mobile app.
+// (Fig. 1/3): a pluggable store of released locations (the storage
+// package), a cached aggregate-query engine behind the location-
+// monitoring app and the privacy-preserving "health code" service (the
+// analytics package), and a versioned HTTP API (/v1 legacy, /v2 typed)
+// with a matching client that plays the role of the mobile app.
 package server
 
 import (
 	"fmt"
 
 	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/analytics"
+	"github.com/pglp/panda/internal/server/storage"
 )
 
-// Record is one released location as stored by the server. The server
-// never sees true locations — only mechanism outputs.
-type Record struct {
-	User          int       `json:"user"`
-	T             int       `json:"t"`
-	Point         geo.Point `json:"point"`
-	Cell          int       `json:"cell"` // snapped cell of Point
-	PolicyVersion int       `json:"policy_version"`
-}
+// Record is one released location as stored by the server, re-exported
+// from the storage package.
+type Record = storage.Record
 
-// DB is the released-location database: grid-aware validation and the
-// surveillance analytics, layered over a pluggable Store.
+// DB is the released-location database: grid-aware validation over a
+// pluggable Store, with the surveillance analytics delegated to a
+// cached analytics.Engine.
 type DB struct {
-	grid  *geo.Grid
-	store Store
+	grid   *geo.Grid
+	store  Store
+	engine *analytics.Engine
 }
 
 // NewDB creates an empty location database over the grid, backed by the
 // single-lock in-memory store.
-func NewDB(grid *geo.Grid) *DB { return &DB{grid: grid, store: NewMemStore()} }
+func NewDB(grid *geo.Grid) *DB {
+	db, _ := NewDBOn(grid, NewMemStore())
+	return db
+}
 
 // NewShardedDB creates a database backed by a store with `shards`
 // independent locks keyed by user, so ingestion scales with cores.
@@ -39,7 +40,8 @@ func NewShardedDB(grid *geo.Grid, shards int) *DB {
 	if shards <= 1 {
 		return NewDB(grid)
 	}
-	return &DB{grid: grid, store: NewShardedStore(shards)}
+	db, _ := NewDBOn(grid, NewShardedStore(shards))
+	return db
 }
 
 // NewDBOn creates a database over the grid backed by an explicit Store —
@@ -48,7 +50,7 @@ func NewDBOn(grid *geo.Grid, store Store) (*DB, error) {
 	if grid == nil || store == nil {
 		return nil, fmt.Errorf("server: nil grid or store")
 	}
-	return &DB{grid: grid, store: store}, nil
+	return &DB{grid: grid, store: store, engine: analytics.New(grid, store)}, nil
 }
 
 // Grid returns the database's grid.
@@ -56,6 +58,9 @@ func (db *DB) Grid() *geo.Grid { return db.grid }
 
 // Store returns the underlying record store.
 func (db *DB) Store() Store { return db.store }
+
+// Analytics returns the cached aggregate-query engine over the store.
+func (db *DB) Analytics() *analytics.Engine { return db.engine }
 
 // Len returns the total number of stored records.
 func (db *DB) Len() int { return db.store.Len() }
@@ -121,19 +126,22 @@ func (db *DB) UserRecordsAfter(user, afterT, limit int) []Record {
 func (db *DB) Users() []int { return db.store.Users() }
 
 // At returns every user's record at timestep t (users without one are
-// skipped), ordered by user ID.
+// skipped), ordered by user ID. Served from the store's timestep index.
 func (db *DB) At(t int) []Record { return db.store.At(t) }
+
+// ScanRange calls fn for every record with t0 <= T <= t1 in ascending T,
+// stopping early if fn returns false — the streaming form of the
+// monitoring read path.
+func (db *DB) ScanRange(t0, t1 int, fn func(Record) bool) {
+	db.store.ScanRange(t0, t1, fn)
+}
 
 // DensityAt returns the number of released locations per blockRows×blockCols
 // region at timestep t — the location-monitoring aggregate ("people's
 // movement between different cities or provinces in a coarse-grained
-// level").
+// level"). Served from the analytics engine's per-timestep cache.
 func (db *DB) DensityAt(t, blockRows, blockCols int) []int {
-	counts := make([]int, db.grid.NumRegions(blockRows, blockCols))
-	for _, rec := range db.At(t) {
-		counts[db.grid.RegionOf(rec.Cell, blockRows, blockCols)]++
-	}
-	return counts
+	return db.engine.DensityAt(t, blockRows, blockCols)
 }
 
 // MovementMatrix returns flows[from][to]: how many users moved from region
@@ -161,50 +169,19 @@ func (db *DB) MovementMatrix(t1, t2, blockRows, blockCols int) [][]int {
 	return flows
 }
 
-// HealthCode is the certification level of the health-code service.
-type HealthCode string
+// HealthCode is the certification level of the health-code service,
+// re-exported from the analytics package.
+type HealthCode = analytics.Code
 
 // Codes, ordered by increasing risk.
 const (
-	CodeGreen  HealthCode = "green"  // no recorded visit to an infected place
-	CodeYellow HealthCode = "yellow" // one recorded visit
-	CodeRed    HealthCode = "red"    // two or more recorded visits (the paper's contact rule)
+	CodeGreen  = analytics.CodeGreen
+	CodeYellow = analytics.CodeYellow
+	CodeRed    = analytics.CodeRed
 )
 
-// HealthCodeFor certifies a user from their released locations: visits to
-// infected cells within the last `window` timesteps before `now` (records
-// with T > now-window) are counted; window ≤ 0 counts all history. A
-// negative `now` resolves to the database's latest timestep. The window
-// is anchored at an explicit `now` rather than the user's own latest
-// record, so a user who stopped reporting ages out of the window instead
-// of keeping an eternally-fresh certificate. Because it runs on released
-// data only, the certificate is privacy-preserving by post-processing.
+// HealthCodeFor certifies a user from their released locations; see
+// analytics.Engine.HealthCodeFor for the window semantics.
 func (db *DB) HealthCodeFor(user int, infected []int, window, now int) HealthCode {
-	inf := make(map[int]bool, len(infected))
-	for _, c := range infected {
-		inf[c] = true
-	}
-	if now < 0 {
-		now = db.MaxT()
-	}
-	visits := 0
-	for _, r := range db.UserRecords(user) {
-		// The window is (now-window, now]: records after the anchor are
-		// just as out-of-window as records before it, so a historical
-		// `now` never counts visits that hadn't happened yet.
-		if window > 0 && (r.T <= now-window || r.T > now) {
-			continue
-		}
-		if inf[r.Cell] {
-			visits++
-		}
-	}
-	switch {
-	case visits >= 2:
-		return CodeRed
-	case visits == 1:
-		return CodeYellow
-	default:
-		return CodeGreen
-	}
+	return db.engine.HealthCodeFor(user, infected, window, now)
 }

@@ -29,6 +29,8 @@ func (s *Server) routeV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/infected", s.handleV2Infected)
 	mux.HandleFunc("GET /v2/healthcode", s.handleV2HealthCode)
 	mux.HandleFunc("GET /v2/density", s.handleV2Density)
+	// Canonical path for the range query, plus the pre-engine alias.
+	mux.HandleFunc("GET /v2/density/series", s.handleV2DensitySeries)
 	mux.HandleFunc("GET /v2/density_series", s.handleV2DensitySeries)
 	mux.HandleFunc("GET /v2/exposure", s.handleV2Exposure)
 	mux.HandleFunc("GET /v2/census", s.handleV2Census)

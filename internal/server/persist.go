@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/pglp/panda/internal/geo"
 )
@@ -17,6 +18,9 @@ type dbSnapshot struct {
 }
 
 // SaveJSON writes a snapshot of the database (grid shape + all records).
+// Records are ordered by (user, t) so the bytes are deterministic: the
+// same logical contents produce the same snapshot regardless of the
+// backing store's sharding or map iteration order.
 func (db *DB) SaveJSON(w io.Writer) error {
 	snap := dbSnapshot{
 		Rows: db.grid.Rows, Cols: db.grid.Cols, CellSize: db.grid.CellSize,
@@ -25,6 +29,12 @@ func (db *DB) SaveJSON(w io.Writer) error {
 	db.store.Scan(func(rec Record) bool {
 		snap.Records = append(snap.Records, rec)
 		return true
+	})
+	sort.Slice(snap.Records, func(i, j int) bool {
+		if snap.Records[i].User != snap.Records[j].User {
+			return snap.Records[i].User < snap.Records[j].User
+		}
+		return snap.Records[i].T < snap.Records[j].T
 	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(snap)

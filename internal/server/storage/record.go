@@ -1,0 +1,19 @@
+// Package storage is the record layer of PANDA's server side: the
+// Store contract for released-location records and its two in-process
+// implementations (a single-lock map and a sharded variant). It sits
+// below the analytics engine and the DB facade — it knows nothing about
+// grids, policies, or HTTP — so persistence backends and query engines
+// can both plug in against the same narrow surface.
+package storage
+
+import "github.com/pglp/panda/internal/geo"
+
+// Record is one released location as stored by the server. The server
+// never sees true locations — only mechanism outputs.
+type Record struct {
+	User          int       `json:"user"`
+	T             int       `json:"t"`
+	Point         geo.Point `json:"point"`
+	Cell          int       `json:"cell"` // snapped cell of Point
+	PolicyVersion int       `json:"policy_version"`
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestTimestepIndexMatchesHistory cross-checks the timestep index (At,
+// ScanRange) against the per-user history slices on a random insert
+// stream with replacements, for both implementations.
+func TestTimestepIndexMatchesHistory(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Store
+	}{
+		{"mem", NewMemStore()},
+		{"sharded", NewShardedStore(5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(7, 11))
+			want := make(map[int]map[int]Record) // t -> user -> record
+			for i := 0; i < 3000; i++ {
+				rec := Record{
+					User: int(rng.Int64N(50)), T: int(rng.Int64N(40)),
+					Cell: int(rng.Int64N(64)), PolicyVersion: 1,
+				}
+				tc.s.Insert(rec)
+				if want[rec.T] == nil {
+					want[rec.T] = make(map[int]Record)
+				}
+				want[rec.T][rec.User] = rec
+			}
+			for ti := 0; ti < 40; ti++ {
+				got := tc.s.At(ti)
+				if len(got) != len(want[ti]) {
+					t.Fatalf("At(%d): %d records, want %d", ti, len(got), len(want[ti]))
+				}
+				for i, rec := range got {
+					if i > 0 && got[i-1].User >= rec.User {
+						t.Fatalf("At(%d) not ordered by user: %v", ti, got)
+					}
+					if want[ti][rec.User] != rec {
+						t.Fatalf("At(%d) user %d = %+v, want %+v", ti, rec.User, rec, want[ti][rec.User])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Store
+	}{
+		{"mem", NewMemStore()},
+		{"sharded", NewShardedStore(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for u := 0; u < 6; u++ {
+				for ti := 0; ti < 20; ti++ {
+					tc.s.Insert(Record{User: u, T: ti, Cell: (u + ti) % 9})
+				}
+			}
+			var got []Record
+			tc.s.ScanRange(5, 7, func(rec Record) bool {
+				got = append(got, rec)
+				return true
+			})
+			if len(got) != 3*6 {
+				t.Fatalf("ScanRange(5,7) yielded %d records, want 18", len(got))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].T < got[i-1].T {
+					t.Fatalf("ScanRange not ascending in T: %d after %d", got[i].T, got[i-1].T)
+				}
+			}
+			// Clamping: a huge t1 must not cost more than the stored range,
+			// and negative t0 is treated as 0.
+			n := 0
+			tc.s.ScanRange(-5, 1<<40, func(Record) bool { n++; return true })
+			if n != tc.s.Len() {
+				t.Errorf("clamped full range visited %d records, want %d", n, tc.s.Len())
+			}
+			// Early stop.
+			n = 0
+			tc.s.ScanRange(0, 19, func(Record) bool { n++; return n < 4 })
+			if n != 4 {
+				t.Errorf("early-stopped scan visited %d records, want 4", n)
+			}
+			// Empty range beyond MaxT.
+			tc.s.ScanRange(100, 200, func(Record) bool {
+				t.Error("scan beyond MaxT yielded a record")
+				return false
+			})
+		})
+	}
+}
+
+func TestGenerations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Store
+	}{
+		{"mem", NewMemStore()},
+		{"sharded", NewShardedStore(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.s
+			if s.Gen(0) != 0 || s.Epoch() != 0 {
+				t.Fatalf("fresh store: Gen(0)=%d Epoch=%d, want 0/0", s.Gen(0), s.Epoch())
+			}
+			s.Insert(Record{User: 1, T: 0, Cell: 1})
+			s.Insert(Record{User: 2, T: 3, Cell: 2})
+			g0, g3 := s.Gen(0), s.Gen(3)
+			if g0 == 0 || g3 == 0 {
+				t.Fatalf("written timesteps have zero generation: g0=%d g3=%d", g0, g3)
+			}
+			if s.Gen(1) != 0 {
+				t.Errorf("untouched timestep 1 has generation %d", s.Gen(1))
+			}
+			// A replacement (same user, same t) must bump the generation:
+			// the timestep's aggregate changed.
+			s.Insert(Record{User: 1, T: 0, Cell: 7})
+			if s.Gen(0) <= g0 {
+				t.Errorf("replacement did not bump Gen(0): %d -> %d", g0, s.Gen(0))
+			}
+			// Writes to t=0 must not disturb t=3's generation.
+			if s.Gen(3) != g3 {
+				t.Errorf("write to t=0 changed Gen(3): %d -> %d", g3, s.Gen(3))
+			}
+			if s.Epoch() != 3 {
+				t.Errorf("Epoch = %d after 3 writes, want 3", s.Epoch())
+			}
+			// Batches bump per-timestep generations individually.
+			e := s.Epoch()
+			s.InsertBatch([]Record{{User: 5, T: 3, Cell: 0}, {User: 6, T: 4, Cell: 0}})
+			if s.Gen(3) != g3+1 || s.Gen(4) != 1 {
+				t.Errorf("after batch: Gen(3)=%d want %d, Gen(4)=%d want 1", s.Gen(3), g3+1, s.Gen(4))
+			}
+			if s.Epoch() != e+2 {
+				t.Errorf("after batch: Epoch=%d want %d", s.Epoch(), e+2)
+			}
+		})
+	}
+}
+
+// TestShardedRangeMatchesMem feeds both implementations the same stream
+// and checks the new read paths agree record-for-record.
+func TestShardedRangeMatchesMem(t *testing.T) {
+	mem := NewMemStore()
+	sharded := NewShardedStore(7)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 2000; i++ {
+		rec := Record{
+			User: int(rng.Int64N(40)), T: int(rng.Int64N(30)),
+			Cell: int(rng.Int64N(64)), PolicyVersion: 1,
+		}
+		mem.Insert(rec)
+		sharded.Insert(rec)
+	}
+	collect := func(s Store, t0, t1 int) []Record {
+		var out []Record
+		s.ScanRange(t0, t1, func(rec Record) bool { out = append(out, rec); return true })
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].T != out[j].T {
+				return out[i].T < out[j].T
+			}
+			return out[i].User < out[j].User
+		})
+		return out
+	}
+	for _, r := range [][2]int{{0, 29}, {5, 5}, {10, 20}, {25, 99}} {
+		a, b := collect(mem, r[0], r[1]), collect(sharded, r[0], r[1])
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("ScanRange(%d,%d): mem %d records, sharded %d", r[0], r[1], len(a), len(b))
+		}
+	}
+	if mem.Epoch() != sharded.Epoch() {
+		t.Errorf("Epoch: mem=%d sharded=%d", mem.Epoch(), sharded.Epoch())
+	}
+	for ti := 0; ti < 30; ti++ {
+		if mem.Gen(ti) != sharded.Gen(ti) {
+			t.Errorf("Gen(%d): mem=%d sharded=%d", ti, mem.Gen(ti), sharded.Gen(ti))
+		}
+	}
+}

@@ -1,317 +1,17 @@
 package server
 
-import (
-	"sort"
-	"sync"
-)
+import "github.com/pglp/panda/internal/server/storage"
 
-// Store is the record-storage contract behind the surveillance database:
-// insert (with the contact-tracing replace-on-resend semantics), per-user
-// queries, and whole-dataset scans. Implementations must be safe for
-// concurrent use. Records handed to a Store are already validated and
-// snapped by the DB wrapper; a Store never consults the grid.
-//
-// Two implementations ship in-process — a single-lock map (NewMemStore)
-// and a sharded variant (NewShardedStore) whose N independent locks let
-// ingestion scale with cores. Persistence backends plug in here.
-type Store interface {
-	// Insert stores a record, replacing any existing record for the same
-	// (user, t) pair. It reports whether the record was new (false =
-	// replaced a prior release, the re-send path).
-	Insert(rec Record) (added bool)
-	// InsertBatch stores many records in as few lock acquisitions as the
-	// implementation allows and returns how many were new.
-	InsertBatch(recs []Record) (added int)
-	// Len returns the total number of stored records.
-	Len() int
-	// MaxT returns the largest timestep of any stored record, -1 if empty.
-	MaxT() int
-	// UserRecords returns a copy of one user's records in ascending T.
-	UserRecords(user int) []Record
-	// UserRecordsAfter returns up to limit of the user's records with
-	// T > afterT in ascending T — the pagination primitive. limit <= 0
-	// means no limit.
-	UserRecordsAfter(user, afterT, limit int) []Record
-	// Users returns the IDs of users with at least one record, ascending.
-	Users() []int
-	// At returns every user's record at timestep t, ordered by user ID.
-	At(t int) []Record
-	// Scan calls fn for every stored record (order unspecified) and stops
-	// early if fn returns false. The scan presents a consistent point-in-
-	// time view: no concurrent insert may be half-visible (snapshots
-	// depend on this).
-	Scan(fn func(Record) bool)
-}
-
-// insertSorted splices rec into rs (ascending T), replacing an existing
-// record at the same T. It returns the updated slice and whether the
-// record was new.
-func insertSorted(rs []Record, rec Record) ([]Record, bool) {
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= rec.T })
-	if i < len(rs) && rs[i].T == rec.T {
-		rs[i] = rec // replace: the re-send semantics of contact tracing
-		return rs, false
-	}
-	rs = append(rs, Record{})
-	copy(rs[i+1:], rs[i:])
-	rs[i] = rec
-	return rs, true
-}
-
-// memStore is the single-lock in-memory Store: a map of per-user record
-// slices guarded by one RWMutex.
-type memStore struct {
-	mu   sync.RWMutex
-	recs map[int][]Record // per user, ascending T
-	n    int
-	maxT int
-}
+// Store is the record-storage contract behind the surveillance database,
+// re-exported from the storage package (see internal/server/storage for
+// the full contract: replace-on-resend inserts, per-user queries, whole-
+// dataset and time-range scans, and the write generations that drive
+// the analytics caches).
+type Store = storage.Store
 
 // NewMemStore returns an empty single-lock in-memory store.
-func NewMemStore() Store { return newMemStore() }
-
-func newMemStore() *memStore {
-	return &memStore{recs: make(map[int][]Record), maxT: -1}
-}
-
-func (s *memStore) Insert(rec Record) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.insertLocked(rec)
-}
-
-func (s *memStore) insertLocked(rec Record) bool {
-	rs, added := insertSorted(s.recs[rec.User], rec)
-	s.recs[rec.User] = rs
-	if added {
-		s.n++
-	}
-	if rec.T > s.maxT {
-		s.maxT = rec.T
-	}
-	return added
-}
-
-func (s *memStore) InsertBatch(recs []Record) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	added := 0
-	for _, rec := range recs {
-		if s.insertLocked(rec) {
-			added++
-		}
-	}
-	return added
-}
-
-func (s *memStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.n
-}
-
-func (s *memStore) MaxT() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.maxT
-}
-
-func (s *memStore) UserRecords(user int) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rs := s.recs[user]
-	out := make([]Record, len(rs))
-	copy(out, rs)
-	return out
-}
-
-func (s *memStore) UserRecordsAfter(user, afterT, limit int) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rs := s.recs[user]
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].T > afterT })
-	rs = rs[i:]
-	if limit > 0 && len(rs) > limit {
-		rs = rs[:limit]
-	}
-	out := make([]Record, len(rs))
-	copy(out, rs)
-	return out
-}
-
-func (s *memStore) Users() []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]int, 0, len(s.recs))
-	for u := range s.recs {
-		out = append(out, u)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func (s *memStore) At(t int) []Record {
-	s.mu.RLock()
-	out := s.atLocked(t)
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
-	return out
-}
-
-// atLocked collects records at t without sorting; callers hold s.mu.
-func (s *memStore) atLocked(t int) []Record {
-	var out []Record
-	for _, rs := range s.recs {
-		i := sort.Search(len(rs), func(i int) bool { return rs[i].T >= t })
-		if i < len(rs) && rs[i].T == t {
-			out = append(out, rs[i])
-		}
-	}
-	return out
-}
-
-func (s *memStore) Scan(fn func(Record) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, rs := range s.recs {
-		for _, rec := range rs {
-			if !fn(rec) {
-				return
-			}
-		}
-	}
-}
-
-// shardedStore distributes users across N independently locked memStores
-// so concurrent ingestion from different users does not contend on one
-// mutex. Cross-user reads (Users, At, Scan, Len, MaxT) visit every shard.
-type shardedStore struct {
-	shards []*memStore
-}
+func NewMemStore() Store { return storage.NewMemStore() }
 
 // NewShardedStore returns a store with n independent lock shards keyed by
 // user ID. n < 1 is treated as 1.
-func NewShardedStore(n int) Store {
-	if n < 1 {
-		n = 1
-	}
-	s := &shardedStore{shards: make([]*memStore, n)}
-	for i := range s.shards {
-		s.shards[i] = newMemStore()
-	}
-	return s
-}
-
-func (s *shardedStore) shard(user int) *memStore {
-	return s.shards[uint(user)%uint(len(s.shards))]
-}
-
-func (s *shardedStore) Insert(rec Record) bool {
-	return s.shard(rec.User).Insert(rec)
-}
-
-// InsertBatch write-locks every involved shard (in index order, the
-// same order Scan uses) before inserting anything, so the whole batch
-// becomes visible atomically — a concurrent Scan sees all of it or none
-// of it.
-func (s *shardedStore) InsertBatch(recs []Record) int {
-	if len(recs) == 0 {
-		return 0
-	}
-	groups := make(map[int][]Record)
-	for _, rec := range recs {
-		i := int(uint(rec.User) % uint(len(s.shards)))
-		groups[i] = append(groups[i], rec)
-	}
-	involved := make([]int, 0, len(groups))
-	for i := range groups {
-		involved = append(involved, i)
-	}
-	sort.Ints(involved)
-	for _, i := range involved {
-		s.shards[i].mu.Lock()
-	}
-	defer func() {
-		for _, i := range involved {
-			s.shards[i].mu.Unlock()
-		}
-	}()
-	added := 0
-	for _, i := range involved {
-		for _, rec := range groups[i] {
-			if s.shards[i].insertLocked(rec) {
-				added++
-			}
-		}
-	}
-	return added
-}
-
-func (s *shardedStore) Len() int {
-	n := 0
-	for _, sh := range s.shards {
-		n += sh.Len()
-	}
-	return n
-}
-
-func (s *shardedStore) MaxT() int {
-	max := -1
-	for _, sh := range s.shards {
-		if t := sh.MaxT(); t > max {
-			max = t
-		}
-	}
-	return max
-}
-
-func (s *shardedStore) UserRecords(user int) []Record {
-	return s.shard(user).UserRecords(user)
-}
-
-func (s *shardedStore) UserRecordsAfter(user, afterT, limit int) []Record {
-	return s.shard(user).UserRecordsAfter(user, afterT, limit)
-}
-
-func (s *shardedStore) Users() []int {
-	var out []int
-	for _, sh := range s.shards {
-		out = append(out, sh.Users()...)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func (s *shardedStore) At(t int) []Record {
-	var out []Record
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		out = append(out, sh.atLocked(t)...)
-		sh.mu.RUnlock()
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
-	return out
-}
-
-// Scan read-locks every shard (in index order) before visiting any
-// record, so the view is consistent across shards — a batch insert
-// spanning shards can never be half-visible in a snapshot.
-func (s *shardedStore) Scan(fn func(Record) bool) {
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-	}
-	defer func() {
-		for _, sh := range s.shards {
-			sh.mu.RUnlock()
-		}
-	}()
-	for _, sh := range s.shards {
-		for _, rs := range sh.recs {
-			for _, rec := range rs {
-				if !fn(rec) {
-					return
-				}
-			}
-		}
-	}
-}
+func NewShardedStore(n int) Store { return storage.NewShardedStore(n) }
