@@ -14,6 +14,7 @@ import (
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/storage/wal"
 	"github.com/pglp/panda/internal/server/wire"
 )
 
@@ -26,6 +27,12 @@ type loadConfig struct {
 	steps   int    // releases per user
 	batch   int    // releases per POST /v2/reports request
 	queries int    // analytics queries per endpoint
+
+	// Durability mode (in-process only): back the store with the WAL so
+	// the run measures the ingest-rate cost of durable appends.
+	durable bool
+	dir     string // WAL directory; empty = a fresh temp dir
+	fsync   bool   // fsync every append (wal.SyncAlways) vs buffered
 }
 
 // latencyRecorder collects per-request latencies, concurrently.
@@ -68,13 +75,41 @@ func (l *latencyRecorder) report(w *os.File, name string, n int) {
 // cache). Returns a non-nil error on any failed request.
 func runLoad(cfg loadConfig) error {
 	base := cfg.url
+	var walStore *wal.Store
 	if base == "" {
 		grid := geo.MustGrid(32, 32, 1)
 		mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
 		if err != nil {
 			return err
 		}
-		srv, err := server.NewServer(server.NewShardedDB(grid, 16), mgr)
+		var db *server.DB
+		if cfg.durable {
+			dir := cfg.dir
+			if dir == "" {
+				dir, err = os.MkdirTemp("", "panda-load-wal-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(dir)
+			}
+			sync := wal.SyncBuffered
+			if cfg.fsync {
+				sync = wal.SyncAlways
+			}
+			walStore, err = wal.Open(dir, wal.Options{Shards: 16, Sync: sync})
+			if err != nil {
+				return err
+			}
+			defer walStore.Close()
+			db, err = server.NewDBOn(grid, walStore)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("load: durable store: wal in %s, sync=%s\n", dir, sync)
+		} else {
+			db = server.NewShardedDB(grid, 16)
+		}
+		srv, err := server.NewServer(db, mgr)
 		if err != nil {
 			return err
 		}
@@ -83,6 +118,9 @@ func runLoad(cfg loadConfig) error {
 		base = ts.URL
 		fmt.Printf("load: in-process server at %s (32x32 grid, 16 store shards)\n", base)
 	} else {
+		if cfg.durable {
+			return fmt.Errorf("-ldurable only applies to the in-process server (drop -url)")
+		}
 		fmt.Printf("load: targeting %s\n", base)
 	}
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.users + 8}}
@@ -134,6 +172,14 @@ func runLoad(cfg loadConfig) error {
 	fmt.Printf("load: ingested %d releases in %v (%.0f releases/sec)\n", total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
 	ingestLat.report(os.Stdout, "POST /v2/reports", cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
+	if walStore != nil {
+		if err := walStore.Sync(); err != nil {
+			return fmt.Errorf("wal sync after ingest: %w", err)
+		}
+		st := walStore.Stats()
+		fmt.Printf("load: wal after ingest: %d live records, %d garbage, segment %d, %d compactions\n",
+			st.LiveRecords, st.Garbage, st.ActiveSeq, st.Compactions)
+	}
 
 	// Phase 2: analytics queries. Repeated shapes hit the engine cache;
 	// the first of each shape computes it.

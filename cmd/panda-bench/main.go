@@ -17,6 +17,13 @@
 //	panda-bench -load                          # in-process server
 //	panda-bench -load -url http://host:8080    # against a running server
 //	panda-bench -load -lusers 500 -lsteps 200 -lbatch 50 -lqueries 2000
+//
+// The in-process server can be backed by the durable WAL store to
+// measure what durability costs in ingest rate:
+//
+//	panda-bench -load -ldurable                # buffered appends
+//	panda-bench -load -ldurable -lfsync        # fsync per append
+//	panda-bench -load -ldurable -ldir /mnt/ssd/panda-load
 package main
 
 import (
@@ -42,11 +49,17 @@ func main() {
 		lSteps   = flag.Int("lsteps", 100, "load: releases per user")
 		lBatch   = flag.Int("lbatch", 25, "load: releases per batch request")
 		lQueries = flag.Int("lqueries", 1000, "load: queries per analytics endpoint")
+		lDurable = flag.Bool("ldurable", false, "load: back the in-process server with the WAL store")
+		lDir     = flag.String("ldir", "", "load: WAL directory for -ldurable (empty = fresh temp dir)")
+		lFsync   = flag.Bool("lfsync", false, "load: with -ldurable, fsync every append instead of buffering")
 	)
 	flag.Parse()
 
 	if *load {
-		cfg := loadConfig{url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries}
+		cfg := loadConfig{
+			url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries,
+			durable: *lDurable, dir: *lDir, fsync: *lFsync,
+		}
 		if cfg.users < 1 || cfg.steps < 1 || cfg.batch < 1 || cfg.queries < 1 {
 			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")
 			os.Exit(2)

@@ -8,39 +8,75 @@
 //
 //	panda-server -addr :8080 -rows 16 -cols 16 -eps 1.0 -policy baseline
 //	panda-server -policy monitoring -block 4
+//	panda-server -data-dir /var/lib/panda        # durable store (WAL)
+//	panda-server -data-dir /var/lib/panda -fsync # fsync every write
+//
+// With -data-dir the record store is backed by an append-only write-
+// ahead log: reports survive restarts, and on SIGINT/SIGTERM the server
+// drains in-flight requests, flushes and closes the log before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/policygraph"
 	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/storage/wal"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, clean exit
+		}
+		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the server until ctx is cancelled (a signal in
+// production), then shuts down gracefully: in-flight requests get
+// shutdownGrace to finish and the store is flushed and closed before
+// run returns. ready, when non-nil, is called with the bound listen
+// address once the server is accepting connections (tests use it to
+// learn the port behind ":0").
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("panda-server", flag.ContinueOnError)
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		rows   = flag.Int("rows", 16, "grid rows")
-		cols   = flag.Int("cols", 16, "grid columns")
-		cell   = flag.Float64("cell", 1.0, "cell size in plane units")
-		eps    = flag.Float64("eps", 1.0, "default per-release epsilon")
-		polFlg = flag.String("policy", "baseline", "default policy: baseline|monitoring|analysis")
-		block  = flag.Int("block", 4, "block side for monitoring/analysis policies")
-		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "lock shards for the record store (1 = single lock)")
+		addr    = fs.String("addr", ":8080", "listen address")
+		rows    = fs.Int("rows", 16, "grid rows")
+		cols    = fs.Int("cols", 16, "grid columns")
+		cell    = fs.Float64("cell", 1.0, "cell size in plane units")
+		eps     = fs.Float64("eps", 1.0, "default per-release epsilon")
+		polFlg  = fs.String("policy", "baseline", "default policy: baseline|monitoring|analysis")
+		block   = fs.Int("block", 4, "block side for monitoring/analysis policies")
+		shards  = fs.Int("shards", runtime.GOMAXPROCS(0), "lock shards for the record store (1 = single lock)")
+		dataDir = fs.String("data-dir", "", "directory for the durable WAL store (empty = memory only)")
+		fsync   = fs.Bool("fsync", false, "with -data-dir: fsync the log on every write (durability over throughput)")
+		grace   = fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests get to finish on shutdown")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	grid, err := geo.NewGrid(*rows, *cols, *cell)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
-		os.Exit(2)
+		return err
 	}
 	var g *policygraph.Graph
 	switch *polFlg {
@@ -51,22 +87,124 @@ func main() {
 	case "analysis":
 		g = policy.ForAnalysis(grid, *block, *block)
 	default:
-		fmt.Fprintf(os.Stderr, "panda-server: unknown policy %q\n", *polFlg)
-		os.Exit(2)
+		return fmt.Errorf("unknown policy %q", *polFlg)
 	}
 	mgr, err := policy.NewManager(grid, g, *eps)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
-		os.Exit(2)
+		return err
 	}
-	srv, err := server.NewServer(server.NewShardedDB(grid, *shards), mgr)
+
+	var db *server.DB
+	var store *wal.Store
+	durability := "memory-only"
+	if *dataDir != "" {
+		sync := wal.SyncBuffered
+		if *fsync {
+			sync = wal.SyncAlways
+		}
+		durability = fmt.Sprintf("wal %s (sync=%s)", *dataDir, sync)
+		store, err = wal.Open(*dataDir, wal.Options{Shards: *shards, Sync: sync})
+		if err != nil {
+			return err
+		}
+		if st := store.Stats(); st.TornTail {
+			log.Printf("panda-server: recovered %d records from %s (dropped a torn final record)", st.LiveRecords, *dataDir)
+		} else {
+			log.Printf("panda-server: recovered %d records from %s", st.LiveRecords, *dataDir)
+		}
+		db, err = server.NewDBOn(grid, store)
+	} else {
+		db = server.NewShardedDB(grid, *shards)
+	}
+	// Until serving starts, every error path must release the store.
+	serving := false
+	defer func() {
+		if !serving && store != nil {
+			store.Close()
+		}
+	}()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "panda-server: %v\n", err)
-		os.Exit(2)
+		return err
 	}
-	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, store shards=%d, serving /v1+/v2 on %s",
-		*rows, *cols, *polFlg, g.NumEdges(), *eps, *shards, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatalf("panda-server: %v", err)
+	srv, err := server.NewServer(db, mgr)
+	if err != nil {
+		return err
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, store shards=%d, %s, serving /v1+/v2 on %s",
+		*rows, *cols, *polFlg, g.NumEdges(), *eps, *shards, durability, ln.Addr())
+	serving = true
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// Fail-stop on durability loss: the Store interface cannot refuse
+	// writes, so once the log stops growing (disk full, I/O error) the
+	// server must not keep acknowledging reports it cannot persist.
+	// The monitor also surfaces compaction failures, which are not
+	// fatal (the log keeps growing) but must not stay silent.
+	walFailed := make(chan error, 1)
+	monitorDone := make(chan struct{})
+	defer close(monitorDone)
+	if store != nil {
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			var loggedCompactErr string
+			for {
+				select {
+				case <-monitorDone:
+					return
+				case <-ticker.C:
+				}
+				if err := store.Err(); err != nil {
+					walFailed <- err
+					return
+				}
+				if ce := store.Stats().CompactErr; ce != nil && ce.Error() != loggedCompactErr {
+					loggedCompactErr = ce.Error()
+					log.Printf("panda-server: wal compaction failing (log keeps growing): %v", ce)
+				}
+			}
+		}()
+	}
+
+	var failErr error
+	select {
+	case err := <-serveErr:
+		if store != nil {
+			store.Close()
+		}
+		return err
+	case failErr = <-walFailed:
+		log.Printf("panda-server: wal append failure, shutting down to stop acknowledging non-durable writes: %v", failErr)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (the
+	// batch reports we must not drop), then flush and close the log.
+	log.Printf("panda-server: shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := hs.Shutdown(shutdownCtx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if store != nil {
+		if err := store.Close(); err != nil && shutdownErr == nil && failErr == nil {
+			shutdownErr = err
+		}
+		log.Printf("panda-server: store closed, %d records durable", db.Len())
+	}
+	if failErr != nil {
+		return failErr
+	}
+	return shutdownErr
 }

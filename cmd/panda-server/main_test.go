@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// launch runs the server in a goroutine and returns its base URL and a
+// channel carrying run's result.
+func launch(t *testing.T, ctx context.Context, args []string) (string, <-chan error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, args, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, errCh
+	case err := <-errCh:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return "", nil
+}
+
+// TestRestartDurability is the acceptance scenario: reports ingested
+// before SIGTERM are served by /v2/records and the analytics endpoints
+// after a relaunch on the same -data-dir. The first instance is stopped
+// by a real SIGTERM through the same signal path main wires up.
+func TestRestartDurability(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-rows", "8", "-cols", "8", "-data-dir", dataDir,
+		"-shutdown-grace", "5s"}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	base, errCh := launch(t, sigCtx, args)
+
+	client := server.NewClient(base, nil)
+	const users, steps = 5, 12
+	for u := 0; u < users; u++ {
+		releases := make([]wire.Release, steps)
+		for i := range releases {
+			releases[i] = wire.Release{T: i, X: float64((u + i) % 8), Y: float64(u % 8)}
+		}
+		if _, err := client.ReportBatch(u, releases); err != nil {
+			t.Fatalf("user %d: ReportBatch: %v", u, err)
+		}
+	}
+	wantDensity, err := client.Density(3, 4, 4)
+	if err != nil {
+		t.Fatalf("Density before restart: %v", err)
+	}
+
+	// Stop instance 1 the way an operator would.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+
+	// Relaunch on the same data dir; everything must still be there.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, errCh2 := launch(t, ctx2, args)
+	client2 := server.NewClient(base2, nil)
+	for u := 0; u < users; u++ {
+		recs, err := client2.Records(u)
+		if err != nil {
+			t.Fatalf("user %d: Records after restart: %v", u, err)
+		}
+		if len(recs) != steps {
+			t.Fatalf("user %d: %d records after restart, want %d", u, len(recs), steps)
+		}
+		for i, r := range recs {
+			if r.T != i {
+				t.Fatalf("user %d record %d: T=%d, want %d", u, i, r.T, i)
+			}
+		}
+	}
+	gotDensity, err := client2.Density(3, 4, 4)
+	if err != nil {
+		t.Fatalf("Density after restart: %v", err)
+	}
+	if len(gotDensity) != len(wantDensity) {
+		t.Fatalf("density length %d vs %d across restart", len(gotDensity), len(wantDensity))
+	}
+	for i := range gotDensity {
+		if gotDensity[i] != wantDensity[i] {
+			t.Fatalf("density[%d]=%d after restart, want %d", i, gotDensity[i], wantDensity[i])
+		}
+	}
+
+	cancel2()
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("second shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second instance did not shut down")
+	}
+}
+
+// TestMemoryOnlyStillWorks pins the default (no -data-dir) path through
+// the refactored run, including context-cancel shutdown.
+func TestMemoryOnlyStillWorks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errCh := launch(t, ctx, []string{"-addr", "127.0.0.1:0", "-rows", "4", "-cols", "4"})
+	client := server.NewClient(base, nil)
+	if _, err := client.ReportBatch(1, []wire.Release{{T: 0, X: 1, Y: 1}}); err != nil {
+		t.Fatalf("ReportBatch: %v", err)
+	}
+	recs, err := client.Records(1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Records: %v (%d records)", err, len(recs))
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestBadFlags pins run's error paths so misconfiguration fails fast.
+func TestBadFlags(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-rows", "0"},
+		{"-policy", "bogus"},
+		{"-addr", "not-an-address"},
+	} {
+		if err := run(ctx, args, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -54,9 +54,12 @@ func LoadJSON(r io.Reader, grid *geo.Grid) (*DB, error) {
 			return nil, fmt.Errorf("server: snapshot grid: %w", err)
 		}
 		grid = g
-	} else if grid.Rows != snap.Rows || grid.Cols != snap.Cols {
-		return nil, fmt.Errorf("server: snapshot grid %dx%d does not match %dx%d",
-			snap.Rows, snap.Cols, grid.Rows, grid.Cols)
+	} else if grid.Rows != snap.Rows || grid.Cols != snap.Cols || grid.CellSize != snap.CellSize {
+		// CellSize matters as much as the shape: the same cell IDs on a
+		// different cell size are different plane geometry, and records
+		// would land on (and be snapped against) the wrong map.
+		return nil, fmt.Errorf("server: snapshot grid %dx%d (cell size %v) does not match %dx%d (cell size %v)",
+			snap.Rows, snap.Cols, snap.CellSize, grid.Rows, grid.Cols, grid.CellSize)
 	}
 	db := NewDB(grid)
 	for _, rec := range snap.Records {

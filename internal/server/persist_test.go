@@ -128,3 +128,29 @@ func TestLoadJSONErrors(t *testing.T) {
 		t.Error("bad record should error")
 	}
 }
+
+// TestLoadJSONCellSizeMismatch: a snapshot whose grid shape matches but
+// whose cell size differs is different plane geometry — it used to be
+// silently accepted, landing records on the wrong map.
+func TestLoadJSONCellSizeMismatch(t *testing.T) {
+	save := func(cellSize float64) string {
+		grid := geo.MustGrid(4, 4, cellSize)
+		db := NewDB(grid)
+		_ = db.Insert(Record{User: 1, T: 0, Cell: 3})
+		var buf bytes.Buffer
+		if err := db.SaveJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	snap := save(2.5)
+	if _, err := LoadJSON(strings.NewReader(snap), geo.MustGrid(4, 4, 1)); err == nil {
+		t.Fatal("cell-size mismatch silently accepted")
+	} else if !strings.Contains(err.Error(), "cell size") {
+		t.Fatalf("mismatch error does not mention cell size: %v", err)
+	}
+	// The matching grid still loads.
+	if _, err := LoadJSON(strings.NewReader(snap), geo.MustGrid(4, 4, 2.5)); err != nil {
+		t.Fatalf("matching grid rejected: %v", err)
+	}
+}

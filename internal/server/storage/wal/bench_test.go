@@ -1,0 +1,110 @@
+package wal
+
+// Durability-cost benchmarks: what does the WAL charge per Put on top
+// of the in-memory stores, in buffered and fsync-per-write modes? Run
+// alongside the storage benchmarks in CI:
+//
+//	go test -bench=. ./internal/server/storage/...
+//
+// Representative numbers (tmpfs-backed CI runners will flatter fsync;
+// see API.md for a local-disk run): buffered appends cost low single-
+// digit microseconds over memStore, fsync-per-write costs whatever the
+// device's flush latency is — typically 100x-1000x, which is why batch
+// ingestion (one fsync per batch) is the intended durable write path.
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+func benchInsert(b *testing.B, s storage.Store) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(rec(i%1000, i/1000, i%64))
+	}
+}
+
+func benchInsertBatch(b *testing.B, s storage.Store, batch int) {
+	b.Helper()
+	recs := make([]storage.Record, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j] = rec(j%1000, i, (i+j)%64)
+		}
+		s.InsertBatch(recs)
+		b.SetBytes(int64(batch * frameSize))
+	}
+}
+
+func BenchmarkInsertMem(b *testing.B)     { benchInsert(b, storage.NewMemStore()) }
+func BenchmarkInsertSharded(b *testing.B) { benchInsert(b, storage.NewShardedStore(16)) }
+
+func BenchmarkInsertWALBuffered(b *testing.B) {
+	s := mustOpenB(b, Options{CompactMinGarbage: -1})
+	defer s.Close()
+	benchInsert(b, s)
+}
+
+func BenchmarkInsertWALFsync(b *testing.B) {
+	s := mustOpenB(b, Options{Sync: SyncAlways, CompactMinGarbage: -1})
+	defer s.Close()
+	benchInsert(b, s)
+}
+
+func BenchmarkInsertBatch100Mem(b *testing.B) { benchInsertBatch(b, storage.NewMemStore(), 100) }
+
+func BenchmarkInsertBatch100WALBuffered(b *testing.B) {
+	s := mustOpenB(b, Options{CompactMinGarbage: -1})
+	defer s.Close()
+	benchInsertBatch(b, s, 100)
+}
+
+func BenchmarkInsertBatch100WALFsync(b *testing.B) {
+	s := mustOpenB(b, Options{Sync: SyncAlways, CompactMinGarbage: -1})
+	defer s.Close()
+	benchInsertBatch(b, s, 100)
+}
+
+// BenchmarkReplay measures recovery speed: how fast Open rebuilds
+// memory from a 100k-record log.
+func BenchmarkReplay100k(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{CompactMinGarbage: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100_000; i++ {
+		s.Insert(rec(i%1000, i/1000, i%64))
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := Open(dir, Options{CompactMinGarbage: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if back.Len() != 100_000 {
+			b.Fatalf("replayed %d records", back.Len())
+		}
+		if err := back.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustOpenB(b *testing.B, opts Options) *Store {
+	b.Helper()
+	s, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+// Package wal is the durable persistence backend of the record layer: a
+// write-ahead log layered over an in-memory storage.Store. Every insert
+// is appended to an on-disk log before it touches memory, so the full
+// database state survives process restarts; Open replays the log (and
+// the compacted snapshot, if one exists) to rebuild memory, tolerating a
+// torn final record from a crash mid-append.
+//
+// # On-disk layout
+//
+// A store owns one directory:
+//
+//	snapshot.dat        compacted records, replaced atomically (tmp+rename)
+//	wal-<seq>.log       append segments, replayed in ascending sequence
+//	*.tmp               in-progress snapshots; removed on Open
+//
+// Both file kinds share one format: an 8-byte file header (magic +
+// version) followed by frames of
+//
+//	[4-byte LE payload length][4-byte CRC32-C of payload][payload]
+//
+// where the payload is one fixed-width binary storage.Record. The CRC
+// lets replay distinguish a fully-written record from a torn one: an
+// invalid frame (short header, short payload, wrong length, CRC
+// mismatch) in the final segment marks the torn tail of a crashed
+// append — everything before it is recovered, the tail is truncated
+// away, and appends resume from the truncation point. The same damage
+// anywhere else (an earlier segment, or the snapshot, which is only
+// ever renamed into place complete) cannot be a torn append and is
+// reported as corruption instead of silently dropped.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+const (
+	// fileMagic opens every snapshot and segment file; fileVersion is
+	// bumped on incompatible format changes.
+	fileMagic   = "PWAL"
+	fileVersion = uint32(1)
+	headerSize  = 8
+
+	// payloadSize is the fixed binary encoding of one storage.Record:
+	// user, t, cell, policy version as int64 plus the released point's
+	// two float64 coordinates.
+	payloadSize = 48
+	frameSize   = 8 + payloadSize // length + crc + payload
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), the same checksum most log-structured stores frame with.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports damage that replay cannot attribute to a torn
+// append: a bad frame in the snapshot or in a non-final segment, or a
+// file that does not start with the expected header.
+var ErrCorrupt = errors.New("wal: corrupt file")
+
+// appendFrame appends the framed encoding of rec to buf.
+func appendFrame(buf []byte, rec storage.Record) []byte {
+	var payload [payloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:], uint64(int64(rec.User)))
+	binary.LittleEndian.PutUint64(payload[8:], uint64(int64(rec.T)))
+	binary.LittleEndian.PutUint64(payload[16:], math.Float64bits(rec.Point.X))
+	binary.LittleEndian.PutUint64(payload[24:], math.Float64bits(rec.Point.Y))
+	binary.LittleEndian.PutUint64(payload[32:], uint64(int64(rec.Cell)))
+	binary.LittleEndian.PutUint64(payload[40:], uint64(int64(rec.PolicyVersion)))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], payloadSize)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload[:], castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload[:]...)
+}
+
+// decodePayload is the inverse of the payload encoding in appendFrame.
+func decodePayload(p []byte) storage.Record {
+	return storage.Record{
+		User: int(int64(binary.LittleEndian.Uint64(p[0:]))),
+		T:    int(int64(binary.LittleEndian.Uint64(p[8:]))),
+		Point: geo.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
+		),
+		Cell:          int(int64(binary.LittleEndian.Uint64(p[32:]))),
+		PolicyVersion: int(int64(binary.LittleEndian.Uint64(p[40:]))),
+	}
+}
+
+// fileHeader returns the 8-byte header opening every wal-owned file.
+func fileHeader() []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	return hdr
+}
+
+// errTorn is the internal sentinel replayFile returns when it hits an
+// invalid frame: the caller decides whether that is a tolerable torn
+// tail (final segment) or corruption (anywhere else).
+var errTorn = errors.New("wal: invalid frame")
+
+// replayFile reads path and calls fn for every valid record, in file
+// order. It returns the byte offset just past the last valid frame and,
+// when the file ends in an invalid frame (or an invalid/short header),
+// errTorn. Any other error is an I/O failure.
+func replayFile(path string, fn func(storage.Record)) (validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, errTorn
+		}
+		return 0, err
+	}
+	if string(hdr[:4]) != fileMagic || binary.LittleEndian.Uint32(hdr[4:]) != fileVersion {
+		return 0, errTorn
+	}
+	validEnd = headerSize
+
+	frame := make([]byte, frameSize)
+	for {
+		_, err := io.ReadFull(r, frame[:8])
+		if err == io.EOF {
+			return validEnd, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return validEnd, errTorn
+		}
+		if err != nil {
+			return validEnd, err
+		}
+		if binary.LittleEndian.Uint32(frame[0:]) != payloadSize {
+			return validEnd, errTorn
+		}
+		if _, err := io.ReadFull(r, frame[8:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return validEnd, errTorn
+			}
+			return validEnd, err
+		}
+		if crc32.Checksum(frame[8:], castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+			return validEnd, errTorn
+		}
+		fn(decodePayload(frame[8:]))
+		validEnd += frameSize
+	}
+}
+
+// segmentName formats the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// parseSegmentName extracts the sequence number from a segment file
+// name, reporting whether the name is a segment at all.
+func parseSegmentName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.log", &seq); err != nil {
+		return 0, false
+	}
+	if name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}

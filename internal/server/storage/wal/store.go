@@ -1,0 +1,582 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// Sync selects when appends reach stable storage.
+type Sync int
+
+const (
+	// SyncBuffered flushes every append to the OS (it survives a process
+	// crash) but fsyncs only on rotation and Close — the throughput
+	// mode; a power failure can lose the most recent appends.
+	SyncBuffered Sync = iota
+	// SyncAlways fsyncs after every Insert/InsertBatch — the durability
+	// mode; an acknowledged write survives power failure.
+	SyncAlways
+)
+
+func (s Sync) String() string {
+	if s == SyncAlways {
+		return "always"
+	}
+	return "buffered"
+}
+
+// Options configures a WAL-backed store. The zero value is usable:
+// single-lock memory store, buffered syncs, default compaction
+// thresholds.
+type Options struct {
+	// Shards selects the in-memory store the log hydrates: <= 1 the
+	// single-lock store, otherwise a sharded store with that many locks.
+	// Note the write path is serialized by the log regardless; shards
+	// help the read path under write load.
+	Shards int
+	// Sync is the append durability policy.
+	Sync Sync
+	// CompactMinGarbage is the number of superseded (user, t) records
+	// that must accumulate in the log before the background compactor
+	// considers rewriting it. 0 selects the default (8192); negative
+	// disables automatic compaction (Compact may still be called).
+	CompactMinGarbage int
+	// CompactGarbageFraction is the garbage/(garbage+live) ratio that,
+	// together with CompactMinGarbage, triggers compaction. 0 selects
+	// the default (0.5).
+	CompactGarbageFraction float64
+}
+
+const (
+	defaultCompactMinGarbage      = 8192
+	defaultCompactGarbageFraction = 0.5
+
+	snapshotName = "snapshot.dat"
+)
+
+// Stats is a point-in-time observation of a store's log state.
+type Stats struct {
+	LiveRecords int    // records in memory (== storage.Store.Len)
+	Garbage     int    // superseded records still occupying log bytes
+	ActiveSeq   uint64 // sequence number of the append segment
+	Compactions uint64 // completed snapshot rewrites since Open
+	TornTail    bool   // whether Open truncated a torn final record
+	CompactErr  error  // latest background-compaction failure, nil once one succeeds
+}
+
+// Store is a durable storage.Store: an append-only write-ahead log over
+// an in-memory store. Writes append to the log before touching memory;
+// reads are served entirely from memory. A background compactor rewrites
+// the log as snapshot+tail when superseded records cross the configured
+// thresholds. Close flushes and stops the compactor; a Store must be
+// Closed before its directory is opened again.
+//
+// The storage.Store interface has no error returns, so append failures
+// (disk full, I/O errors) cannot surface per-write: the store records
+// the first such error, keeps serving memory, and reports it from Err,
+// Sync and Close. Callers that need hard durability guarantees check
+// Err (or Sync) after writing.
+type Store struct {
+	dir  string
+	opts Options
+	mem  storage.Store
+
+	// mu serializes appends, rotation and close, and orders log appends
+	// identically to memory inserts (replay correctness depends on the
+	// log being a linearization of the memory writes).
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seq     uint64
+	minSeq  uint64 // lowest segment still on disk
+	garbage int
+	err     error // first append/sync failure, sticky
+	closed  bool
+
+	// compactErr is the latest background-compaction failure, kept
+	// separate from err: a failed snapshot rewrite leaves the append
+	// path fully functional (the log just keeps growing), so it must
+	// not fail-stop appends. Cleared by the next successful Compact.
+	compactErr error // under mu
+
+	compactMu   sync.Mutex // serializes Compact with itself
+	compactions uint64     // under mu
+	tornTail    bool
+	closeOnce   sync.Once
+
+	kick chan struct{} // nudges the compactor; buffered, size 1
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	buf []byte // append scratch, under mu
+}
+
+// Open creates or recovers a WAL store in dir. Existing state is
+// replayed into memory: the snapshot first (if present), then every
+// segment in sequence order. A torn final record in the last segment is
+// truncated away; damage anywhere else returns ErrCorrupt.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactMinGarbage == 0 {
+		opts.CompactMinGarbage = defaultCompactMinGarbage
+	}
+	if opts.CompactGarbageFraction == 0 {
+		opts.CompactGarbageFraction = defaultCompactGarbageFraction
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var mem storage.Store
+	if opts.Shards > 1 {
+		mem = storage.NewShardedStore(opts.Shards)
+	} else {
+		mem = storage.NewMemStore()
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		mem:  mem,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if opts.CompactMinGarbage > 0 {
+		s.wg.Add(1)
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// recover replays snapshot + segments into memory and opens the last
+// segment for appending (creating segment 1 in a fresh directory).
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			// Leftover of a compaction that crashed before rename;
+			// never referenced, safe to discard.
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			continue
+		}
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	snapPath := filepath.Join(s.dir, snapshotName)
+	if _, err := os.Stat(snapPath); err == nil {
+		if _, err := replayFile(snapPath, func(rec storage.Record) { s.mem.Insert(rec) }); err != nil {
+			if err == errTorn {
+				return fmt.Errorf("%w: snapshot %s", ErrCorrupt, snapPath)
+			}
+			return fmt.Errorf("wal: replaying snapshot: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("wal: %w", err)
+	}
+
+	replayInsert := func(rec storage.Record) {
+		if !s.mem.Insert(rec) {
+			s.garbage++ // superseded an earlier log entry
+		}
+	}
+	for i, seq := range seqs {
+		path := filepath.Join(s.dir, segmentName(seq))
+		validEnd, err := replayFile(path, replayInsert)
+		switch {
+		case err == nil:
+		case err == errTorn && i == len(seqs)-1:
+			// Torn tail of a crashed append: keep everything before it,
+			// truncate the rest so appends resume from a clean frame
+			// boundary. A zero-length or headerless file (crash between
+			// create and header write) truncates to empty and the
+			// header is rewritten below.
+			if err := os.Truncate(path, validEnd); err != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			s.tornTail = true
+		case err == errTorn:
+			return fmt.Errorf("%w: segment %s", ErrCorrupt, path)
+		default:
+			return fmt.Errorf("wal: replaying %s: %w", path, err)
+		}
+	}
+
+	s.seq, s.minSeq = 1, 1
+	if n := len(seqs); n > 0 {
+		s.seq, s.minSeq = seqs[n-1], seqs[0]
+	}
+	return s.openSegmentLocked(s.seq)
+}
+
+// openSegmentLocked opens segment seq for appending, writing the file
+// header if the file is new (or was truncated to empty).
+func (s *Store) openSegmentLocked(seq uint64) error {
+	path := filepath.Join(s.dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if st.Size() == 0 {
+		if _, err := w.Write(fileHeader()); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	s.f, s.w = f, w
+	return nil
+}
+
+// appendLocked frames recs into the active segment and flushes per the
+// sync policy. Failures are sticky: the first one is kept and every
+// later append degrades to memory-only (reported by Err/Sync/Close).
+func (s *Store) appendLocked(recs ...storage.Record) {
+	if s.err != nil || s.closed {
+		return
+	}
+	s.buf = s.buf[:0]
+	for _, rec := range recs {
+		s.buf = appendFrame(s.buf, rec)
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = fmt.Errorf("wal: append: %w", err)
+		return
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("wal: append: %w", err)
+		return
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			s.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+}
+
+// maybeKickCompactorLocked nudges the background compactor when the
+// garbage thresholds are crossed.
+func (s *Store) maybeKickCompactorLocked() {
+	if s.opts.CompactMinGarbage <= 0 || s.garbage < s.opts.CompactMinGarbage {
+		return
+	}
+	total := s.garbage + s.mem.Len()
+	if float64(s.garbage) < s.opts.CompactGarbageFraction*float64(total) {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Insert appends the record to the log, then stores it in memory. It
+// implements storage.Store.
+func (s *Store) Insert(rec storage.Record) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(rec)
+	added := s.mem.Insert(rec)
+	if !added {
+		s.garbage++
+	}
+	s.maybeKickCompactorLocked()
+	return added
+}
+
+// InsertBatch appends the whole batch as one flush (and one fsync under
+// SyncAlways), then stores it in memory atomically.
+func (s *Store) InsertBatch(recs []storage.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(recs...)
+	added := s.mem.InsertBatch(recs)
+	s.garbage += len(recs) - added
+	s.maybeKickCompactorLocked()
+	return added
+}
+
+// Reads are served from the hydrated in-memory store.
+
+func (s *Store) Len() int                              { return s.mem.Len() }
+func (s *Store) MaxT() int                             { return s.mem.MaxT() }
+func (s *Store) UserRecords(user int) []storage.Record { return s.mem.UserRecords(user) }
+func (s *Store) UserRecordsAfter(user, afterT, limit int) []storage.Record {
+	return s.mem.UserRecordsAfter(user, afterT, limit)
+}
+func (s *Store) Users() []int                      { return s.mem.Users() }
+func (s *Store) At(t int) []storage.Record         { return s.mem.At(t) }
+func (s *Store) Scan(fn func(storage.Record) bool) { s.mem.Scan(fn) }
+func (s *Store) ScanRange(t0, t1 int, fn func(storage.Record) bool) {
+	s.mem.ScanRange(t0, t1, fn)
+}
+
+// Gen and Epoch delegate to memory. Write generations are process
+// state, not log state: a restart replays records (rebuilding nonzero
+// generations) but does not reproduce the previous process's counts —
+// which is fine, because the caches they version are per-process too.
+func (s *Store) Gen(t int) uint64 { return s.mem.Gen(t) }
+func (s *Store) Epoch() uint64    { return s.mem.Epoch() }
+
+// Err returns the first append or sync failure, if any. Once non-nil
+// the log has stopped growing and only memory is being updated —
+// durability is lost, and callers that require it should fail-stop
+// (cmd/panda-server shuts down when this trips). Background-compaction
+// failures are reported separately (Stats.CompactErr): they leave the
+// append path intact.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Sync flushes buffered appends to stable storage (a barrier for
+// SyncBuffered mode) and reports any sticky append failure.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return fmt.Errorf("wal: store closed")
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("wal: flush: %w", err)
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("wal: fsync: %w", err)
+	}
+	return s.err
+}
+
+// Stats returns a point-in-time observation of the log.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		LiveRecords: s.mem.Len(),
+		Garbage:     s.garbage,
+		ActiveSeq:   s.seq,
+		Compactions: s.compactions,
+		TornTail:    s.tornTail,
+		CompactErr:  s.compactErr,
+	}
+}
+
+// Close stops the compactor, flushes and fsyncs the active segment, and
+// closes it. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return s.err
+		}
+		return s.compactErr
+	}
+	s.closed = true
+	if flushErr := s.w.Flush(); flushErr != nil && s.err == nil {
+		s.err = fmt.Errorf("wal: flush: %w", flushErr)
+	}
+	if syncErr := s.f.Sync(); syncErr != nil && s.err == nil {
+		s.err = fmt.Errorf("wal: fsync: %w", syncErr)
+	}
+	if closeErr := s.f.Close(); closeErr != nil && s.err == nil {
+		s.err = fmt.Errorf("wal: close: %w", closeErr)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	// Surface an unrecovered compaction failure at shutdown so it is
+	// not lost entirely; the data itself is safe (the log kept growing).
+	return s.compactErr
+}
+
+// compactLoop runs compactions when kicked, until Close. A failed
+// compaction is recorded as compactErr (visible in Stats and, if never
+// recovered, from Close) but does not stop the append path: the log
+// keeps growing and the next garbage accumulation retries.
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+		}
+		if err := s.Compact(); err != nil {
+			s.mu.Lock()
+			s.compactErr = err
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Compact rewrites the log as snapshot+tail: it rotates appends onto a
+// fresh segment, writes every live record to a new snapshot (atomically
+// replacing the old one), and deletes the now-redundant older segments.
+// Appends are blocked only for the rotation, not for the snapshot write.
+//
+// Correctness of the rotate-then-scan order: the snapshot is a scan of
+// memory taken *after* rotation, so it equals (state at rotation) plus
+// some prefix of the new segment's appends. Replay applies the snapshot
+// first and then the new segment in full, and since the final state of
+// a (user, t) key is decided by its last log entry, replaying that
+// prefix over the snapshot is idempotent.
+//
+// Old segments are deleted strictly oldest-first, so a crash mid-
+// deletion leaves a contiguous *newest* suffix of them, and that is
+// the only leftover shape replay can see. A suffix is harmless: a key
+// whose last pre-rotation write sits in a surviving segment replays to
+// that (correct) value, and a key whose last write sits only in
+// already-deleted older segments has no surviving entry at all, so the
+// snapshot's value stands. Deleting newest-first would break exactly
+// this — a surviving *older* segment could overwrite the snapshot's
+// newer value on replay.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Rotate: seal the active segment and swing appends to the next one.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("wal: store closed")
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("wal: flush: %w", err)
+		s.mu.Unlock()
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("wal: fsync: %w", err)
+		s.mu.Unlock()
+		return s.err
+	}
+	if err := s.f.Close(); err != nil {
+		s.err = fmt.Errorf("wal: close: %w", err)
+		s.mu.Unlock()
+		return s.err
+	}
+	oldSeq := s.seq
+	minSeq := s.minSeq
+	s.seq++
+	if err := s.openSegmentLocked(s.seq); err != nil {
+		s.err = err
+		s.mu.Unlock()
+		return err
+	}
+	// Everything the snapshot will absorb — including all garbage so
+	// far — predates the new segment.
+	s.garbage = 0
+	s.mu.Unlock()
+
+	// Snapshot: scan memory (consistent view, concurrent with new
+	// appends) into a temp file, then atomically replace.
+	tmpPath := filepath.Join(s.dir, snapshotName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := w.Write(fileHeader()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	var frame []byte
+	var writeErr error
+	s.mem.Scan(func(rec storage.Record) bool {
+		frame = appendFrame(frame[:0], rec)
+		if _, err := w.Write(frame); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr == nil {
+		writeErr = w.Flush()
+	}
+	if writeErr == nil {
+		writeErr = tmp.Sync()
+	}
+	if closeErr := tmp.Close(); writeErr == nil {
+		writeErr = closeErr
+	}
+	if writeErr != nil {
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact: %w", writeErr)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+
+	// Drop segments the snapshot superseded — oldest first, so a crash
+	// partway through can only leave the newest suffix (see above).
+	for seq := minSeq; seq <= oldSeq; seq++ {
+		path := filepath.Join(s.dir, segmentName(seq))
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	s.minSeq = oldSeq + 1
+	s.compactions++
+	s.compactErr = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,504 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// noAutoCompact disables the background compactor so tests control
+// compaction explicitly.
+var noAutoCompact = Options{CompactMinGarbage: -1}
+
+func rec(user, t, cell int) storage.Record {
+	return storage.Record{
+		User: user, T: t, Cell: cell,
+		Point:         geo.Pt(float64(cell)+0.5, float64(user)+0.25),
+		PolicyVersion: user % 3,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// collect scans a store into a (user, t) -> record map.
+func collect(s storage.Store) map[[2]int]storage.Record {
+	out := make(map[[2]int]storage.Record)
+	s.Scan(func(r storage.Record) bool {
+		out[[2]int{r.User, r.T}] = r
+		return true
+	})
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{Shards: shards, CompactMinGarbage: -1})
+		var want []storage.Record
+		for u := 0; u < 7; u++ {
+			for ti := 0; ti < 20; ti++ {
+				r := rec(u, ti, (u*7+ti)%64)
+				want = append(want, r)
+				if !s.Insert(r) {
+					t.Fatalf("Insert(%+v) reported replaced on fresh store", r)
+				}
+			}
+		}
+		// Replacements must survive too: re-send user 3's history with
+		// different cells.
+		for ti := 0; ti < 20; ti++ {
+			s.Insert(rec(3, ti, 63-ti))
+		}
+		before := collect(s)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		back := mustOpen(t, dir, Options{Shards: shards, CompactMinGarbage: -1})
+		defer back.Close()
+		after := collect(back)
+		if len(after) != len(before) {
+			t.Fatalf("shards=%d: recovered %d records, want %d", shards, len(after), len(before))
+		}
+		for k, r := range before {
+			if after[k] != r {
+				t.Fatalf("shards=%d: key %v recovered %+v, want %+v", shards, k, after[k], r)
+			}
+		}
+		if back.MaxT() != 19 || back.Len() != 7*20 {
+			t.Fatalf("shards=%d: MaxT=%d Len=%d after recovery", shards, back.MaxT(), back.Len())
+		}
+		if got := back.UserRecords(3); got[0].Cell != 63 {
+			t.Fatalf("replacement lost: user 3 t=0 cell %d, want 63", got[0].Cell)
+		}
+	}
+}
+
+func TestInsertBatchDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncAlways, CompactMinGarbage: -1})
+	batch := []storage.Record{rec(1, 0, 5), rec(1, 1, 6), rec(2, 0, 7)}
+	if added := s.InsertBatch(batch); added != 3 {
+		t.Fatalf("InsertBatch added %d, want 3", added)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	if back.Len() != 3 {
+		t.Fatalf("recovered %d records, want 3", back.Len())
+	}
+}
+
+// TestTornTailEveryOffset is the crash-recovery core: a log truncated at
+// every possible byte offset must open successfully, recover exactly the
+// fully-written records before the cut, and drop the torn tail.
+func TestTornTailEveryOffset(t *testing.T) {
+	const n = 12
+	srcDir := t.TempDir()
+	s := mustOpen(t, srcDir, noAutoCompact)
+	for i := 0; i < n; i++ {
+		s.Insert(rec(i, i, i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(srcDir, segmentName(1))
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := headerSize + n*frameSize; len(full) != want {
+		t.Fatalf("segment is %d bytes, want %d", len(full), want)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(dir, noAutoCompact)
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		wantRecs := 0
+		if cut >= headerSize {
+			wantRecs = (cut - headerSize) / frameSize
+		}
+		if back.Len() != wantRecs {
+			back.Close()
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, back.Len(), wantRecs)
+		}
+		torn := cut != len(full) && cut != headerSize+wantRecs*frameSize
+		// A cut exactly on a frame boundary is not torn; anywhere else is.
+		if got := back.Stats().TornTail; got != torn {
+			back.Close()
+			t.Fatalf("cut=%d: TornTail=%v, want %v", cut, got, torn)
+		}
+		// The truncated store must accept and persist new appends.
+		back.Insert(rec(100, 50, 1))
+		if err := back.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+		again := mustOpen(t, dir, noAutoCompact)
+		if again.Len() != wantRecs+1 {
+			t.Fatalf("cut=%d: after re-append recovered %d, want %d", cut, again.Len(), wantRecs+1)
+		}
+		again.Close()
+	}
+}
+
+// TestTornTailDropsSuffix: an invalid frame mid-file in the final
+// segment ends replay there — the records after it are unreachable (the
+// log's linearization is broken at that point) and the file is truncated
+// back to the last valid frame.
+func TestTornTailDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAutoCompact)
+	for i := 0; i < 10; i++ {
+		s.Insert(rec(i, 0, i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+4*frameSize+20] ^= 0xff // corrupt record 4's payload
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	if back.Len() != 4 {
+		t.Fatalf("recovered %d records, want 4 (those before the bad frame)", back.Len())
+	}
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize + 4*frameSize); st.Size() != want {
+		t.Fatalf("segment left at %d bytes, want truncated to %d", st.Size(), want)
+	}
+}
+
+// TestCorruptSnapshotRejected: the snapshot is written atomically, so a
+// bad frame there is real corruption, not a torn append.
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAutoCompact)
+	for i := 0; i < 50; i++ {
+		s.Insert(rec(i%5, i/5, i%64))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, snapshotName)
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+frameSize+9] ^= 0xff
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, noAutoCompact); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt snapshot: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompactionShrinksAndPreserves(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAutoCompact)
+	// 40 live keys, rewritten 50 times each: ~95% of the log is garbage.
+	for round := 0; round < 50; round++ {
+		for u := 0; u < 4; u++ {
+			for ti := 0; ti < 10; ti++ {
+				s.Insert(rec(u, ti, (round+u+ti)%64))
+			}
+		}
+	}
+	before := collect(s)
+	sizeBefore := dirSize(t, dir)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	sizeAfter := dirSize(t, dir)
+	if sizeAfter >= sizeBefore/10 {
+		t.Fatalf("compaction shrank %d -> %d bytes; want >10x", sizeBefore, sizeAfter)
+	}
+	st := s.Stats()
+	if st.Compactions != 1 || st.Garbage != 0 || st.ActiveSeq != 2 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+	// Appends after compaction land in the new tail; both snapshot and
+	// tail must replay.
+	s.Insert(rec(9, 9, 9))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); !os.IsNotExist(err) {
+		t.Fatalf("old segment survived compaction: %v", err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	after := collect(back)
+	if len(after) != len(before)+1 {
+		t.Fatalf("recovered %d records, want %d", len(after), len(before)+1)
+	}
+	for k, r := range before {
+		if after[k] != r {
+			t.Fatalf("key %v: recovered %+v, want %+v", k, after[k], r)
+		}
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactMinGarbage: 100, CompactGarbageFraction: 0.5})
+	for round := 0; round < 30; round++ {
+		for ti := 0; ti < 10; ti++ {
+			s.Insert(rec(1, ti, (round+ti)%64))
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compactor never ran: %+v", s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	if back.Len() != 10 {
+		t.Fatalf("recovered %d records, want 10", back.Len())
+	}
+}
+
+// TestConcurrentInsertAndCompact races writers against explicit
+// compactions and verifies nothing is lost across a reopen (run with
+// -race in CI).
+func TestConcurrentInsertAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: 4, CompactMinGarbage: -1})
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Insert(rec(w, i%20, (w+i)%64))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+	want := collect(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	got := collect(back)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for k, r := range want {
+		if got[k] != r {
+			t.Fatalf("key %v: recovered %+v, want %+v", k, got[k], r)
+		}
+	}
+}
+
+// writeLogFile builds a wal-format file from records, for tests that
+// manufacture crash layouts directly.
+func writeLogFile(t *testing.T, path string, recs ...storage.Record) {
+	t.Helper()
+	buf := fileHeader()
+	for _, r := range recs {
+		buf = appendFrame(buf, r)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashMidDeletionSuffixReplay pins the invariant Compact's
+// oldest-first segment deletion guarantees: a crash partway through
+// deletion leaves only a *newest suffix* of the old segments, and
+// replaying snapshot + that suffix yields the correct final values. A
+// key whose last write sits in a surviving segment replays to it; a key
+// whose history was entirely in already-deleted segments keeps the
+// snapshot's value. (Deleting newest-first instead would let a
+// surviving *older* segment overwrite the snapshot's newer value —
+// that layout must be unreachable.)
+func TestCrashMidDeletionSuffixReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Crash state: segment 1 (user 1's OLD value) already deleted,
+	// segment 2 survived, segment 3 was the active tail at crash time.
+	// The snapshot has the newest values of both users.
+	writeLogFile(t, filepath.Join(dir, snapshotName), rec(1, 0, 9), rec(2, 0, 20))
+	writeLogFile(t, filepath.Join(dir, segmentName(2)), rec(1, 0, 9)) // user 1 re-sent here
+	writeLogFile(t, filepath.Join(dir, segmentName(3)))               // fresh tail, no records yet
+	s := mustOpen(t, dir, noAutoCompact)
+	defer s.Close()
+	if got := s.UserRecords(1)[0].Cell; got != 9 {
+		t.Fatalf("user 1 replayed cell %d, want 9 (suffix replay resurrected a stale value)", got)
+	}
+	if got := s.UserRecords(2)[0].Cell; got != 20 {
+		t.Fatalf("user 2 replayed cell %d, want 20 (snapshot value must stand)", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("replayed %d records, want 2", s.Len())
+	}
+}
+
+// TestCompactFailureDoesNotStopAppends: a failing compaction (here: the
+// snapshot temp path is blocked by a directory) must leave the append
+// path fully functional — it is reported via Stats.CompactErr, retried,
+// and cleared on the next success; it must never become the sticky
+// append error that degrades the store to memory-only.
+func TestCompactFailureDoesNotStopAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactMinGarbage: 20, CompactGarbageFraction: 0.1})
+	blocker := filepath.Join(dir, snapshotName+".tmp")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		s.Insert(rec(1, 0, round%64)) // same key: pure garbage generation
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().CompactErr == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction failure never surfaced: %+v", s.Stats())
+		}
+		s.Insert(rec(1, 0, 1)) // keep kicking the compactor
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Appends must still be live and durable.
+	if err := s.Err(); err != nil {
+		t.Fatalf("append path poisoned by compaction failure: %v", err)
+	}
+	s.Insert(rec(7, 3, 42))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync after compaction failure: %v", err)
+	}
+	// Unblock; the next kicked compaction succeeds and clears the error.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for st := s.Stats(); st.CompactErr != nil || st.Compactions == 0; st = s.Stats() {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never recovered: %+v", s.Stats())
+		}
+		s.Insert(rec(1, 0, 2))
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after recovered compaction: %v", err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	if got := back.UserRecords(7); len(got) != 1 || got[0].Cell != 42 {
+		t.Fatalf("record appended during compaction failure lost: %+v", got)
+	}
+}
+
+func TestFreshDirAndReopenEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data") // Open must MkdirAll
+	s := mustOpen(t, dir, noAutoCompact)
+	if s.Len() != 0 || s.MaxT() != -1 {
+		t.Fatalf("fresh store: Len=%d MaxT=%d", s.Len(), s.MaxT())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAutoCompact)
+	if back.Len() != 0 {
+		t.Fatalf("reopened empty store has %d records", back.Len())
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Close(); err != nil { // double Close is a no-op
+		t.Fatal(err)
+	}
+}
+
+// TestStoreInterface pins that *Store satisfies storage.Store and that
+// the generation counters rebuild on replay (nonzero after recovery).
+func TestStoreInterface(t *testing.T) {
+	var _ storage.Store = (*Store)(nil)
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAutoCompact)
+	s.Insert(rec(1, 5, 2))
+	s.Close()
+	back := mustOpen(t, dir, noAutoCompact)
+	defer back.Close()
+	if back.Gen(5) == 0 || back.Epoch() == 0 {
+		t.Fatalf("generations not rebuilt: Gen(5)=%d Epoch=%d", back.Gen(5), back.Epoch())
+	}
+	if back.Gen(4) != 0 {
+		t.Fatalf("untouched timestep has Gen %d", back.Gen(4))
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}

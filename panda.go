@@ -38,6 +38,7 @@ import (
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/policygraph"
 	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/storage/wal"
 )
 
 // MechanismKind selects a PGLP release mechanism family.
@@ -88,6 +89,18 @@ type Options struct {
 	// released-location store (keyed by user), so concurrent ingestion
 	// scales with cores. 0 or 1 uses a single-lock store.
 	StoreShards int
+	// DataDir, when non-empty, makes the released-location store durable:
+	// records are written through an append-only WAL in this directory
+	// (created if absent) and replayed on the next NewSystem with the
+	// same directory, so the database survives restarts. Call Close when
+	// done with the system. Empty keeps the store memory-only.
+	DataDir string
+	// FsyncEveryWrite, with DataDir set, fsyncs the log after every
+	// insert so acknowledged reports survive power failure, at a large
+	// per-write cost (see API.md for measurements). Unset, appends are
+	// flushed to the OS per write and fsynced on compaction and Close —
+	// they survive a process crash but not a power cut.
+	FsyncEveryWrite bool
 }
 
 // System is the server side of PANDA: the policy configuration module, the
@@ -97,6 +110,7 @@ type System struct {
 	mgr       *policy.Manager
 	db        *server.DB
 	srv       *server.Server
+	store     *wal.Store // nil unless Options.DataDir was set
 	eps       float64
 	winSteps  int
 	winBudget float64
@@ -116,18 +130,51 @@ func NewSystem(o Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := server.NewShardedDB(grid, o.StoreShards)
-	srv, err := server.NewServer(db, mgr)
-	if err != nil {
-		return nil, err
-	}
 	if (o.WindowSteps > 0) != (o.WindowEpsilon > 0) {
 		return nil, fmt.Errorf("panda: WindowSteps and WindowEpsilon must be set together")
 	}
+	var (
+		db       *server.DB
+		walStore *wal.Store
+	)
+	if o.DataDir != "" {
+		sync := wal.SyncBuffered
+		if o.FsyncEveryWrite {
+			sync = wal.SyncAlways
+		}
+		walStore, err = wal.Open(o.DataDir, wal.Options{Shards: o.StoreShards, Sync: sync})
+		if err != nil {
+			return nil, fmt.Errorf("panda: opening data dir: %w", err)
+		}
+		db, err = server.NewDBOn(grid, walStore)
+		if err != nil {
+			walStore.Close()
+			return nil, err
+		}
+	} else {
+		db = server.NewShardedDB(grid, o.StoreShards)
+	}
+	srv, err := server.NewServer(db, mgr)
+	if err != nil {
+		if walStore != nil {
+			walStore.Close()
+		}
+		return nil, err
+	}
 	return &System{
-		grid: grid, mgr: mgr, db: db, srv: srv, eps: o.Epsilon,
+		grid: grid, mgr: mgr, db: db, srv: srv, store: walStore, eps: o.Epsilon,
 		winSteps: o.WindowSteps, winBudget: o.WindowEpsilon,
 	}, nil
+}
+
+// Close flushes and closes the persistent store, if the system has one
+// (Options.DataDir); it is a no-op for memory-only systems. The system
+// must not be used afterwards.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // NumCells returns the number of locations on the map.
