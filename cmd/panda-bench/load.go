@@ -33,6 +33,12 @@ type loadConfig struct {
 	durable bool
 	dir     string // WAL directory; empty = a fresh temp dir
 	fsync   bool   // fsync every append (wal.SyncAlways) vs buffered
+
+	// Async mode: report with early acknowledgement (202 + background
+	// drain) so the recorded ingest latency is ack latency, not store
+	// latency. Combine with durable to measure async-over-WAL — the
+	// headline comparison against sync durable ingest.
+	async bool
 }
 
 // latencyRecorder collects per-request latencies, concurrently.
@@ -109,14 +115,22 @@ func runLoad(cfg loadConfig) error {
 		} else {
 			db = server.NewShardedDB(grid, 16)
 		}
-		srv, err := server.NewServer(db, mgr)
+		srv, err := server.NewServerOpts(db, mgr, server.Options{AsyncIngest: cfg.async})
 		if err != nil {
 			return err
+		}
+		if cfg.async {
+			// Drain acknowledged batches before the WAL store closes.
+			defer srv.DrainIngest(context.Background())
 		}
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL
-		fmt.Printf("load: in-process server at %s (32x32 grid, 16 store shards)\n", base)
+		mode := "sync ingest"
+		if cfg.async {
+			mode = "async ingest"
+		}
+		fmt.Printf("load: in-process server at %s (32x32 grid, 16 store shards, %s)\n", base, mode)
 	} else {
 		if cfg.durable {
 			return fmt.Errorf("-ldurable only applies to the in-process server (drop -url)")
@@ -125,7 +139,9 @@ func runLoad(cfg loadConfig) error {
 	}
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.users + 8}}
 
-	// Phase 1: batch ingestion, one goroutine per user.
+	// Phase 1: batch ingestion, one goroutine per user. In async mode
+	// the recorded latency is the 202 ack (the client retries 429
+	// backpressure internally, honoring the server's hint).
 	fmt.Printf("load: ingesting %d users x %d releases (batches of %d)\n", cfg.users, cfg.steps, cfg.batch)
 	var (
 		wg        sync.WaitGroup
@@ -141,6 +157,14 @@ func runLoad(cfg loadConfig) error {
 		go func(user int) {
 			defer wg.Done()
 			client := server.NewClient(base, hc)
+			// Warm the policy cache untimed: the first report otherwise
+			// carries a GET /v2/policy (a whole policy-graph marshal),
+			// and under the initial burst that fetch storm — identical
+			// in sync and async mode — would dominate the percentiles.
+			if _, err := client.PolicyContext(ctx, user); err != nil {
+				fail(fmt.Errorf("user %d policy warmup: %w", user, err))
+				return
+			}
 			rng := rand.New(rand.NewPCG(uint64(user), 42))
 			for t0 := 0; t0 < cfg.steps; t0 += cfg.batch {
 				n := cfg.batch
@@ -155,7 +179,20 @@ func runLoad(cfg loadConfig) error {
 					}
 				}
 				reqStart := time.Now()
-				if _, err := client.ReportBatchContext(ctx, user, releases); err != nil {
+				var err error
+				if cfg.async {
+					var ack server.AsyncAck
+					ack, err = client.ReportBatchAsyncContext(ctx, user, releases)
+					if err == nil && ack.SyncFallback {
+						// Fail fast: labeling sync latencies as async ack
+						// percentiles would be exactly the wrong number.
+						fail(fmt.Errorf("-lasync: target server has async ingest disabled (sync fallback)"))
+						return
+					}
+				} else {
+					_, err = client.ReportBatchContext(ctx, user, releases)
+				}
+				if err != nil {
 					fail(fmt.Errorf("user %d batch at t=%d: %w", user, t0, err))
 					return
 				}
@@ -171,7 +208,43 @@ func runLoad(cfg loadConfig) error {
 	total := cfg.users * cfg.steps
 	fmt.Printf("load: ingested %d releases in %v (%.0f releases/sec)\n", total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
-	ingestLat.report(os.Stdout, "POST /v2/reports", cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
+	reqName := "POST /v2/reports"
+	if cfg.async {
+		reqName = "POST /v2/reports (ack)"
+	}
+	ingestLat.report(os.Stdout, reqName, cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
+	if cfg.async {
+		// Wait for the background drain so the analytics phase queries
+		// the full dataset; the wait itself measures drain lag.
+		// Bounded wait: on a shared server other clients keep the queue
+		// non-empty, and a wedged drain would never reach zero — turn
+		// either into a diagnosable error instead of hanging forever.
+		const drainStall = 30 * time.Second
+		mon := server.NewClient(base, hc)
+		drainStart := time.Now()
+		lastDepth, lastProgress := -1, time.Now()
+		for {
+			st, err := mon.IngestStatsContext(ctx)
+			if err != nil {
+				return fmt.Errorf("polling ingest stats: %w", err)
+			}
+			if !st.Enabled {
+				return fmt.Errorf("-lasync: target server has async ingest disabled")
+			}
+			if st.Depth == 0 {
+				fmt.Printf("load: ingest queue drained in %v after last ack (%d drained, %d rejected 429s, lag %.1fms)\n",
+					time.Since(drainStart).Round(time.Millisecond), st.Drained, st.Rejected, st.LagMS)
+				break
+			}
+			if st.Depth != lastDepth {
+				lastDepth, lastProgress = st.Depth, time.Now()
+			} else if time.Since(lastProgress) > drainStall {
+				return fmt.Errorf("-lasync: ingest queue stuck at depth %d for %v (shared server with other writers, or a wedged drain?)",
+					st.Depth, drainStall)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 	if walStore != nil {
 		if err := walStore.Sync(); err != nil {
 			return fmt.Errorf("wal sync after ingest: %w", err)

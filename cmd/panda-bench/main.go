@@ -24,6 +24,13 @@
 //	panda-bench -load -ldurable                # buffered appends
 //	panda-bench -load -ldurable -lfsync        # fsync per append
 //	panda-bench -load -ldurable -ldir /mnt/ssd/panda-load
+//
+// -lasync reports through the async ingestion queue (202 early acks,
+// background drain) so the ingest percentiles measure acknowledgement
+// latency; compare against -ldurable without -lasync to see what the
+// early ack buys over durable sync ingest:
+//
+//	panda-bench -load -ldurable -lasync        # async acks over the WAL
 package main
 
 import (
@@ -52,13 +59,14 @@ func main() {
 		lDurable = flag.Bool("ldurable", false, "load: back the in-process server with the WAL store")
 		lDir     = flag.String("ldir", "", "load: WAL directory for -ldurable (empty = fresh temp dir)")
 		lFsync   = flag.Bool("lfsync", false, "load: with -ldurable, fsync every append instead of buffering")
+		lAsync   = flag.Bool("lasync", false, "load: report via async ingestion (202 early acks, background drain)")
 	)
 	flag.Parse()
 
 	if *load {
 		cfg := loadConfig{
 			url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries,
-			durable: *lDurable, dir: *lDir, fsync: *lFsync,
+			durable: *lDurable, dir: *lDir, fsync: *lFsync, async: *lAsync,
 		}
 		if cfg.users < 1 || cfg.steps < 1 || cfg.batch < 1 || cfg.queries < 1 {
 			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")

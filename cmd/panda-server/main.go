@@ -10,10 +10,19 @@
 //	panda-server -policy monitoring -block 4
 //	panda-server -data-dir /var/lib/panda        # durable store (WAL)
 //	panda-server -data-dir /var/lib/panda -fsync # fsync every write
+//	panda-server -async-ingest                   # early-ack report ingestion
+//	panda-server -async-ingest -ingest-workers 8 -ingest-queue 131072
 //
 // With -data-dir the record store is backed by an append-only write-
 // ahead log: reports survive restarts, and on SIGINT/SIGTERM the server
 // drains in-flight requests, flushes and closes the log before exiting.
+//
+// With -async-ingest, POST /v2/reports?mode=async batches are validated,
+// queued and acknowledged with 202 before they reach the store; a full
+// queue answers 429 with a retry hint, and /v2/ingest/stats exposes the
+// queue's depth and drain counters. Graceful shutdown drains the queue
+// (within -shutdown-grace) before the store closes, so every
+// acknowledged record is applied — and durable when -data-dir is set.
 package main
 
 import (
@@ -69,6 +78,10 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		dataDir = fs.String("data-dir", "", "directory for the durable WAL store (empty = memory only)")
 		fsync   = fs.Bool("fsync", false, "with -data-dir: fsync the log on every write (durability over throughput)")
 		grace   = fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests get to finish on shutdown")
+
+		asyncIngest = fs.Bool("async-ingest", false, "enable POST /v2/reports?mode=async: early 202 acks, background drain")
+		ingWorkers  = fs.Int("ingest-workers", 0, "async ingest drain workers (0 = GOMAXPROCS)")
+		ingDepth    = fs.Int("ingest-queue", 0, "async ingest queue bound in records (0 = default 65536)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,7 +139,11 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.NewServer(db, mgr)
+	srv, err := server.NewServerOpts(db, mgr, server.Options{
+		AsyncIngest:      *asyncIngest,
+		IngestWorkers:    *ingWorkers,
+		IngestQueueDepth: *ingDepth,
+	})
 	if err != nil {
 		return err
 	}
@@ -134,8 +151,13 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, store shards=%d, %s, serving /v1+/v2 on %s",
-		*rows, *cols, *polFlg, g.NumEdges(), *eps, *shards, durability, ln.Addr())
+	ingestMode := "sync-only"
+	if q := srv.Ingest(); q != nil {
+		st := q.Stats()
+		ingestMode = fmt.Sprintf("async ingest (%d workers, queue %d records)", st.Workers, st.Capacity)
+	}
+	log.Printf("panda-server: %dx%d grid, policy %s (edges=%d), ε=%v, store shards=%d, %s, %s, serving /v1+/v2 on %s",
+		*rows, *cols, *polFlg, g.NumEdges(), *eps, *shards, durability, ingestMode, ln.Addr())
 	serving = true
 	if ready != nil {
 		ready(ln.Addr().String())
@@ -179,6 +201,13 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	var failErr error
 	select {
 	case err := <-serveErr:
+		// Serve failed outright; still drain acknowledged batches, but
+		// bounded by the same grace as a signal shutdown.
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), *grace)
+		if derr := srv.DrainIngest(drainCtx); derr != nil {
+			log.Printf("panda-server: ingest drain after serve error: %v", derr)
+		}
+		drainCancel()
 		if store != nil {
 			store.Close()
 		}
@@ -188,14 +217,29 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests (the
-	// batch reports we must not drop), then flush and close the log.
+	// Graceful shutdown, in dependency order: stop accepting, drain
+	// in-flight requests (the batch reports we must not drop), drain the
+	// async ingest queue (every 202-acknowledged batch reaches the
+	// store), then flush and close the log. The grace period covers the
+	// HTTP drain and the queue drain together.
 	log.Printf("panda-server: shutting down (grace %v)", *grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	shutdownErr := hs.Shutdown(shutdownCtx)
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
 		shutdownErr = err
+	}
+	if q := srv.Ingest(); q != nil {
+		err := srv.DrainIngest(shutdownCtx)
+		st := q.Stats()
+		if err != nil {
+			log.Printf("panda-server: ingest drain cut short (%v): %d records dropped", err, st.Dropped)
+			if shutdownErr == nil {
+				shutdownErr = err
+			}
+		} else {
+			log.Printf("panda-server: ingest queue drained (%d records applied over the run)", st.Drained)
+		}
 	}
 	if store != nil {
 		if err := store.Close(); err != nil && shutdownErr == nil && failErr == nil {

@@ -117,6 +117,82 @@ func TestRestartDurability(t *testing.T) {
 	}
 }
 
+// TestAsyncShutdownDrain is the async-ingest acceptance scenario: every
+// record acknowledged with 202 must be in the store — and on disk, since
+// -data-dir is set — after a graceful SIGTERM, because shutdown drains
+// the ingest queue before closing the WAL.
+func TestAsyncShutdownDrain(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-rows", "8", "-cols", "8",
+		"-data-dir", dataDir, "-async-ingest", "-shutdown-grace", "10s"}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	base, errCh := launch(t, sigCtx, args)
+
+	client := server.NewClient(base, nil)
+	const users, steps = 8, 50
+	for u := 0; u < users; u++ {
+		releases := make([]wire.Release, steps)
+		for i := range releases {
+			releases[i] = wire.Release{T: i, X: float64((u + i) % 8), Y: float64(u % 8)}
+		}
+		ack, err := client.ReportBatchAsync(u, releases)
+		if err != nil {
+			t.Fatalf("user %d: ReportBatchAsync: %v", u, err)
+		}
+		if ack.SyncFallback || ack.Queued != steps {
+			t.Fatalf("user %d: ack = %+v, want %d queued async", u, ack, steps)
+		}
+	}
+
+	// SIGTERM immediately after the last 202 — the queue may still hold
+	// unapplied batches; the graceful path must drain them.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+
+	// Relaunch on the same data dir: every acknowledged record was
+	// durable at shutdown.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, errCh2 := launch(t, ctx2, args)
+	client2 := server.NewClient(base2, nil)
+	for u := 0; u < users; u++ {
+		recs, err := client2.Records(u)
+		if err != nil {
+			t.Fatalf("user %d: Records after restart: %v", u, err)
+		}
+		if len(recs) != steps {
+			t.Fatalf("user %d: %d durable records after restart, want all %d acknowledged", u, len(recs), steps)
+		}
+	}
+	st, err := client2.IngestStats()
+	if err != nil {
+		t.Fatalf("IngestStats after restart: %v", err)
+	}
+	if !st.Enabled {
+		t.Fatal("relaunched server lost -async-ingest")
+	}
+	cancel2()
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("second shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second instance did not shut down")
+	}
+}
+
 // TestMemoryOnlyStillWorks pins the default (no -data-dir) path through
 // the refactored run, including context-cancel shutdown.
 func TestMemoryOnlyStillWorks(t *testing.T) {

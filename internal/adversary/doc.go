@@ -1,0 +1,8 @@
+// Package adversary implements the empirical privacy metric of the paper's
+// third evaluation (§3.2): the expected inference error of a Bayesian
+// adversary (Shokri et al., "Quantifying Location Privacy", S&P'11). The
+// adversary knows the mechanism (and its analytic likelihoods), holds a
+// prior over locations — optionally a Markov mobility model for tracking —
+// and estimates the user's true location from each released location.
+// Higher adversary error = more privacy.
+package adversary

@@ -1,0 +1,10 @@
+// Package contact implements PANDA's contact-tracing application (§3.2):
+// ground-truth co-location detection, the dynamic-policy tracing protocol
+// in which diagnosed patients' visited places become disclosable (policy
+// Gc) and at-risk users re-send their recent locations, and a static-policy
+// baseline that works only from already-perturbed data.
+//
+// The decision rule follows the paper's simple CDC-style example: "two
+// persons have been [in] the same location at the same time at least
+// twice".
+package contact

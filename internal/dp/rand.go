@@ -1,8 +1,3 @@
-// Package dp provides the differential-privacy primitives PANDA's
-// mechanisms are built from: seeded random sources, Laplace and planar
-// Laplace (geo-indistinguishability) samplers, integer-shape gamma sampling
-// for the K-norm mechanism, and ε-budget accounting with sequential
-// composition over sliding windows.
 package dp
 
 import "math/rand/v2"

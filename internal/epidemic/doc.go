@@ -1,0 +1,6 @@
+// Package epidemic implements the epidemic-analysis substrate of PANDA
+// (§3.1): the SEIR compartmental transmission model used for predictive
+// analysis, an agent-based outbreak simulator that spreads infection over
+// mobility traces via co-location, and estimators of the basic
+// reproduction number R0 from (possibly perturbed) location data.
+package epidemic

@@ -1,11 +1,3 @@
-// Package geo provides the planar geometry substrate used throughout PANDA:
-// points and vectors, rectangular grid maps of discrete location cells,
-// 2x2 linear algebra, convex hulls and the convex-body gauge norm needed by
-// the Planar Isotropic Mechanism.
-//
-// Coordinates are abstract plane units. A Grid with CellSize c places the
-// center of cell (row, col) at ((col+0.5)*c, (row+0.5)*c); experiments
-// interpret one unit as one meter unless stated otherwise.
 package geo
 
 import (

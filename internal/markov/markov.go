@@ -1,7 +1,3 @@
-// Package markov implements the mobility-model substrate of PANDA: first-
-// order Markov chains over grid cells, hidden-Markov forward filtering (the
-// inference engine of the tracking adversary and of δ-Location Set privacy,
-// Xiao & Xiong CCS'15), and δ-location set extraction.
 package markov
 
 import (

@@ -1,0 +1,23 @@
+// Package mechanism implements the PGLP release mechanisms of the paper
+// (§1, §2.2 and the technical report it defers to): randomized algorithms
+// that take a user's true location and output a perturbed location while
+// satisfying {ε,G}-location privacy for a location policy graph G.
+//
+// Three mechanism families are provided, plus baselines:
+//
+//   - GraphExponential (GEM): a discrete exponential mechanism over the
+//     ∞-neighbor component of the true location, scored by graph distance.
+//   - GraphLaplace (GLM): the planar Laplace mechanism of
+//     Geo-Indistinguishability re-calibrated to the policy graph, the
+//     "adapting the Laplace mechanism" construction of the paper.
+//   - PIM: the Planar Isotropic Mechanism (Xiao & Xiong CCS'15), the
+//     optimal mechanism for Location Set privacy, adapted to policy graphs
+//     by building the sensitivity hull from policy-graph edges.
+//   - GeoInd: plain planar Laplace ignoring the policy graph (baseline),
+//     and Null, which releases the true location (no-privacy baseline).
+//
+// Every mechanism releases locations with unconstrained support for
+// unprotected (degree-0) nodes: the policy places no indistinguishability
+// requirement on them, so they are disclosed exactly (paper §2.2 extreme
+// case after Lemma 2.1).
+package mechanism

@@ -1,0 +1,5 @@
+// Package metrics collects the utility and accuracy measures PANDA's
+// evaluation reports: Euclidean location error (§3.2 evaluation 1),
+// precision/recall of contact identification (§3.2 evaluation 2), and
+// distributional distances used when comparing aggregate releases.
+package metrics

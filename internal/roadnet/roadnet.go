@@ -1,13 +1,3 @@
-// Package roadnet provides a road-network substrate for PANDA: grid maps
-// where only street cells are valid locations and movement follows the
-// street graph. It reproduces the setting of the authors' follow-up work
-// "Geo-Graph-Indistinguishability: Protecting Location Privacy for LBS
-// over Road Networks" (Takagi, Cao, Asano, Yoshikawa — the paper's
-// reference [17]): indistinguishability scaled by shortest-path distance
-// on the road network rather than Euclidean distance. Under PGLP this is
-// simply a policy graph whose edges are road adjacencies, so the entire
-// mechanism stack applies unchanged — the demonstration of PGLP's claim to
-// generality.
 package roadnet
 
 import (

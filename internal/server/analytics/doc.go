@@ -1,0 +1,21 @@
+// Package analytics is the cached aggregate-query engine of PANDA's
+// server side: regional density grids, infected-exposure series, and
+// the population health-code census, computed over released records
+// only (so everything here is privacy-preserving post-processing).
+//
+// The Engine layers epoch-versioned caches over a storage.Store. Every
+// cached aggregate remembers the store's write generation at compute
+// time — the per-timestep Gen(t) for per-timestep aggregates, the
+// global Epoch for whole-dataset ones — and is served only while that
+// generation is still current. A write to timestep t therefore
+// invalidates exactly t's cached aggregates: batch-ingesting historical
+// data evicts only the touched steps, and the hot dashboard window
+// stays cached.
+//
+// Cache coherence relies on one ordering rule: the generation is read
+// *before* the records are scanned. A write racing with the scan may or
+// may not be visible in the computed aggregate, but it necessarily
+// bumps the generation past the value recorded with the cache entry, so
+// the next query recomputes. A cache entry can be invalidated
+// spuriously, never served stale.
+package analytics

@@ -81,12 +81,14 @@ func NewClient(base string, httpClient *http.Client, opts ...Option) *Client {
 }
 
 // APIError is a decoded /v2 error envelope. On CodeStalePolicy, Policy
-// carries the server's current policy for the user.
+// carries the server's current policy for the user; on CodeQueueFull,
+// RetryAfter carries the server's backpressure hint.
 type APIError struct {
-	Status  int    // HTTP status
-	Code    string // machine-readable wire code
-	Message string
-	Policy  *wire.Policy // inline renegotiation payload, if any
+	Status     int    // HTTP status
+	Code       string // machine-readable wire code
+	Message    string
+	Policy     *wire.Policy  // inline renegotiation payload, if any
+	RetryAfter time.Duration // backpressure hint of a 429, 0 otherwise
 }
 
 func (e *APIError) Error() string {
@@ -137,8 +139,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // do performs one API request with retry: transport errors and 5xx
 // responses are retried up to MaxAttempts with jittered exponential
-// backoff; everything else is decoded (into out or an *APIError) and
-// returned as-is.
+// backoff, and 429 responses (async-ingest backpressure) are retried
+// after the server's retry_after_ms hint instead of the backoff curve;
+// everything else is decoded (into out or an *APIError) and returned
+// as-is.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var data []byte
 	if body != nil {
@@ -154,7 +158,29 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			if err := sleepCtx(ctx, c.backoff(attempt-1)); err != nil {
+			// The previous iteration chose the delay: the 429 hint when
+			// the server supplied one, the backoff curve otherwise.
+			delay := c.backoff(attempt - 1)
+			if ae, ok := lastErr.(*APIError); ok && ae.RetryAfter > 0 {
+				// Wait at least the hint — the server derived it from how
+				// far its drain is behind, so retrying earlier is a near-
+				// guaranteed second 429 — with jitter added on top so a
+				// fleet of throttled clients does not re-send in phase.
+				// The hint itself is clamped to the policy's MaxDelay: a
+				// legitimate server's hint is at most 2s (= the default
+				// cap), and a hostile or buggy one must not be able to
+				// stall the caller for an hour.
+				hint := ae.RetryAfter
+				if max := c.retry.MaxDelay; max <= 0 {
+					if hint > DefaultRetryPolicy.MaxDelay {
+						hint = DefaultRetryPolicy.MaxDelay
+					}
+				} else if hint > max {
+					hint = max
+				}
+				delay = hint + rand.N(hint/2+1)
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
 				return fmt.Errorf("server client: %s %s: %w (last error: %v)", method, path, err, lastErr)
 			}
 		}
@@ -177,12 +203,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			}
 			continue
 		}
-		if resp.StatusCode >= 500 && attempt < attempts {
-			// Drain so the connection is reusable, remember the failure,
-			// and back off.
-			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		retriable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		if retriable && attempt < attempts {
+			// Decode the envelope with a small cap — a 429 hint is a few
+			// bytes and 5xx pages from intermediaries can be huge; the
+			// generous stale_policy limit is for the terminal path only.
+			// Reading (vs just discarding) keeps the connection reusable.
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
-			lastErr = &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+			lastErr = apiErrorFromBody(resp.StatusCode, resp.Status, body)
 			continue
 		}
 		err = decodeResponse(resp, out)
@@ -200,21 +229,30 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
+// apiErrorFromBody decodes an error-envelope body into an *APIError,
+// falling back to the bare status when the body is not an envelope.
+func apiErrorFromBody(status int, statusText string, body []byte) *APIError {
+	var e wire.Error
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		code := e.Code
+		if code == "" {
+			code = "unknown" // /v1 envelopes carry no code
+		}
+		return &APIError{
+			Status: status, Code: code, Message: e.Error, Policy: e.Policy,
+			RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond,
+		}
+	}
+	return &APIError{Status: status, Code: "unknown", Message: statusText}
+}
+
 func decodeResponse(resp *http.Response, out any) error {
 	if resp.StatusCode >= 300 {
 		// Generous cap: a stale_policy envelope carries a whole policy
 		// graph inline, which on a large grid runs to many megabytes —
 		// truncating it would silently break renegotiation.
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-		var e wire.Error
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			code := e.Code
-			if code == "" {
-				code = "unknown" // /v1 envelopes carry no code
-			}
-			return &APIError{Status: resp.StatusCode, Code: code, Message: e.Error, Policy: e.Policy}
-		}
-		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+		return apiErrorFromBody(resp.StatusCode, resp.Status, body)
 	}
 	if out == nil {
 		return nil
@@ -339,6 +377,83 @@ func (c *Client) ReportBatchContext(ctx context.Context, user int, releases []wi
 	}
 	if err != nil {
 		return wire.BatchReportResponse{}, err
+	}
+	return out, nil
+}
+
+// AsyncAck is the client-side result of an async batch report. When the
+// server runs without an ingest queue it falls back to synchronous
+// handling; SyncFallback is then true and Queued counts the records
+// applied (the ack is stronger than asked for, never weaker).
+type AsyncAck struct {
+	Queued        int  // records acknowledged
+	QueueDepth    int  // records pending behind the ack (0 on sync fallback)
+	PolicyVersion int  // version the batch was accepted under
+	SyncFallback  bool // server had no queue and applied synchronously
+}
+
+// asyncOrSyncResponse decodes either acknowledgement shape of
+// POST /v2/reports?mode=async: the 202 AsyncReportResponse or, on
+// servers without async ingest, the 200 BatchReportResponse.
+type asyncOrSyncResponse struct {
+	Queued        *int `json:"queued"`
+	QueueDepth    int  `json:"queue_depth"`
+	Accepted      *int `json:"accepted"`
+	Replaced      int  `json:"replaced"`
+	PolicyVersion int  `json:"policy_version"`
+}
+
+// ReportBatchAsync sends many releases for one user with early
+// acknowledgement: the server validates and queues the batch, answering
+// before it reaches the store (ack ≠ applied ≠ durable — see API.md).
+// Backpressure (429 queue_full) is retried automatically up to the
+// retry policy's MaxAttempts, honoring the server's retry_after hint;
+// re-sending is safe because ingestion replaces on (user, t). Stale
+// policies renegotiate exactly like ReportBatch.
+func (c *Client) ReportBatchAsync(user int, releases []wire.Release) (AsyncAck, error) {
+	return c.ReportBatchAsyncContext(context.Background(), user, releases)
+}
+
+// ReportBatchAsyncContext is ReportBatchAsync under an explicit context.
+func (c *Client) ReportBatchAsyncContext(ctx context.Context, user int, releases []wire.Release) (AsyncAck, error) {
+	ver, err := c.policyVersion(ctx, user)
+	if err != nil {
+		return AsyncAck{}, err
+	}
+	var out asyncOrSyncResponse
+	req := wire.BatchReportRequest{User: user, PolicyVersion: ver, Releases: releases, Async: true}
+	err = c.post(ctx, "/v2/reports?mode=async", req, &out)
+	if err != nil && c.adoptStalePolicy(user, err) {
+		req.PolicyVersion, _ = c.policyVersion(ctx, user)
+		err = c.post(ctx, "/v2/reports?mode=async", req, &out)
+	}
+	if err != nil {
+		return AsyncAck{}, err
+	}
+	ack := AsyncAck{PolicyVersion: out.PolicyVersion}
+	switch {
+	case out.Queued != nil:
+		ack.Queued, ack.QueueDepth = *out.Queued, out.QueueDepth
+	case out.Accepted != nil:
+		ack.Queued, ack.SyncFallback = *out.Accepted+out.Replaced, true
+	default:
+		return AsyncAck{}, fmt.Errorf("server client: unrecognized report acknowledgement")
+	}
+	return ack, nil
+}
+
+// IngestStats fetches the async ingestion queue's observability
+// counters (GET /v2/ingest/stats). Enabled is false on servers running
+// without async ingest.
+func (c *Client) IngestStats() (wire.IngestStatsResponse, error) {
+	return c.IngestStatsContext(context.Background())
+}
+
+// IngestStatsContext is IngestStats under an explicit context.
+func (c *Client) IngestStatsContext(ctx context.Context) (wire.IngestStatsResponse, error) {
+	var out wire.IngestStatsResponse
+	if err := c.get(ctx, "/v2/ingest/stats", &out); err != nil {
+		return wire.IngestStatsResponse{}, err
 	}
 	return out, nil
 }

@@ -89,6 +89,89 @@ func TestClientRetryDisabled(t *testing.T) {
 	}
 }
 
+// TestClientRetries429HonoringHint: a 429 queue_full response is
+// retried after the server's retry_after_ms hint (not the backoff
+// curve), and the re-send succeeds — the async-ingest backpressure
+// loop.
+func TestClientRetries429HonoringHint(t *testing.T) {
+	const hintMS = 80
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v2/policy":
+			_ = json.NewEncoder(w).Encode(wire.Policy{User: 1, Epsilon: 1, Version: 1})
+		case calls.Add(1) == 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(wire.Error{
+				Error: "ingest queue full", Code: wire.CodeQueueFull, RetryAfterMS: hintMS,
+			})
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(wire.AsyncReportResponse{Queued: 1, QueueDepth: 3, PolicyVersion: 1})
+		}
+	}))
+	defer ts.Close()
+
+	// Millisecond backoff curve but a cap above the hint: the 429 sleep
+	// must come from the hint, not the curve (MaxDelay also clamps
+	// hostile hints, so it has to sit above this test's legitimate one).
+	client := NewClient(ts.URL, ts.Client(),
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 500 * time.Millisecond}))
+	start := time.Now()
+	ack, err := client.ReportBatchAsync(1, []wire.Release{{T: 0, X: 1, Y: 1}})
+	if err != nil {
+		t.Fatalf("async report after backpressure: %v", err)
+	}
+	if ack.Queued != 1 || ack.SyncFallback {
+		t.Fatalf("ack = %+v, want 1 queued async", ack)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d report calls, want 2 (one 429, one retry)", got)
+	}
+	// The retry must wait at least the full hint (jitter is additive),
+	// far above fastRetry's millisecond backoff, so a pass proves the
+	// hint was honored.
+	if elapsed := time.Since(start); elapsed < hintMS*time.Millisecond {
+		t.Errorf("retry happened after %v, want >= %v (the hinted wait)", elapsed, hintMS*time.Millisecond)
+	}
+}
+
+// TestClient429Exhausted: persistent backpressure surfaces as a 429
+// APIError carrying the retry hint once attempts run out — and an
+// absurd (hostile/buggy) hint is clamped to the policy's MaxDelay
+// instead of stalling the caller for an hour per attempt.
+func TestClient429Exhausted(t *testing.T) {
+	var calls atomic.Int64
+	const hostileHintMS = 3_600_000 // one hour
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v2/policy" {
+			_ = json.NewEncoder(w).Encode(wire.Policy{User: 1, Epsilon: 1, Version: 1})
+			return
+		}
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(wire.Error{Error: "full", Code: wire.CodeQueueFull, RetryAfterMS: hostileHintMS})
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(fastRetry)) // MaxDelay 5ms clamps the hint
+	start := time.Now()
+	_, err := client.ReportBatchAsync(1, []wire.Release{{T: 0, X: 1, Y: 1}})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests || ae.Code != wire.CodeQueueFull {
+		t.Fatalf("err = %v, want 429 queue_full APIError", err)
+	}
+	if want := time.Duration(hostileHintMS) * time.Millisecond; ae.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want the server's raw %v (clamping applies to the sleep, not the report)", ae.RetryAfter, want)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("exhausting retries took %v — the hostile hint was not clamped", elapsed)
+	}
+	if got := calls.Load(); got != int64(fastRetry.MaxAttempts) {
+		t.Errorf("server saw %d calls, want %d", got, fastRetry.MaxAttempts)
+	}
+}
+
 // TestBackoffDefaults: a policy that only sets MaxAttempts still backs
 // off — unset delays inherit DefaultRetryPolicy instead of producing a
 // tight retry loop.

@@ -1,9 +1,3 @@
-// Package server implements PANDA's untrusted (semi-honest) server side
-// (Fig. 1/3): a pluggable store of released locations (the storage
-// package), a cached aggregate-query engine behind the location-
-// monitoring app and the privacy-preserving "health code" service (the
-// analytics package), and a versioned HTTP API (/v1 legacy, /v2 typed)
-// with a matching client that plays the role of the mobile app.
 package server
 
 import (
@@ -95,19 +89,32 @@ func (db *DB) Insert(rec Record) error {
 	return nil
 }
 
+// ValidateBatch validates every record against the grid, snapping
+// points where Cell is unset (-1), and returns the normalized batch
+// without storing it. It is the front half of InsertBatch, exposed so
+// the async ingest path can refuse a bad batch before acknowledging it
+// and later hand the pre-validated records straight to the Store.
+func (db *DB) ValidateBatch(recs []Record) ([]Record, error) {
+	normalized := make([]Record, len(recs))
+	for i, rec := range recs {
+		r, err := db.validate(rec)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		normalized[i] = r
+	}
+	return normalized, nil
+}
+
 // InsertBatch validates every record first and then stores them all —
 // the batch-ingest path of POST /v2/reports. The batch is atomic with
 // respect to validation: if any record is invalid, nothing is stored.
 // It returns how many records were new and how many replaced an
 // existing (user, t) release.
 func (db *DB) InsertBatch(recs []Record) (added, replaced int, err error) {
-	normalized := make([]Record, len(recs))
-	for i, rec := range recs {
-		r, err := db.validate(rec)
-		if err != nil {
-			return 0, 0, fmt.Errorf("record %d: %w", i, err)
-		}
-		normalized[i] = r
+	normalized, err := db.ValidateBatch(recs)
+	if err != nil {
+		return 0, 0, err
 	}
 	added = db.store.InsertBatch(normalized)
 	return added, len(normalized) - added, nil

@@ -1,0 +1,7 @@
+// Package server implements PANDA's untrusted (semi-honest) server side
+// (Fig. 1/3): a pluggable store of released locations (the storage
+// package), a cached aggregate-query engine behind the location-
+// monitoring app and the privacy-preserving "health code" service (the
+// analytics package), and a versioned HTTP API (/v1 legacy, /v2 typed)
+// with a matching client that plays the role of the mobile app.
+package server

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server/ingest"
 )
 
 // Server exposes the surveillance backend over HTTP, in two wire
@@ -32,14 +34,68 @@ import (
 type Server struct {
 	db  *DB
 	mgr *policy.Manager
+	// queue is the async ingestion pipeline behind POST /v2/reports'
+	// ?mode=async; nil when async ingest is disabled (async requests
+	// then fall back to synchronous handling).
+	queue *ingest.Queue
 }
 
-// NewServer wires a database and a policy manager.
+// Options configures the optional server subsystems.
+type Options struct {
+	// AsyncIngest enables the early-acknowledgement mode of
+	// POST /v2/reports: a bounded queue with background workers that
+	// batch-apply into the Store (see the ingest package).
+	AsyncIngest bool
+	// IngestWorkers is the number of drain workers; <= 0 uses
+	// GOMAXPROCS. Only meaningful with AsyncIngest.
+	IngestWorkers int
+	// IngestQueueDepth bounds the queue in records; <= 0 uses
+	// ingest.DefaultQueueDepth. Only meaningful with AsyncIngest.
+	IngestQueueDepth int
+}
+
+// NewServer wires a database and a policy manager with async ingest
+// disabled.
 func NewServer(db *DB, mgr *policy.Manager) (*Server, error) {
+	return NewServerOpts(db, mgr, Options{})
+}
+
+// NewServerOpts wires a database and a policy manager under explicit
+// options. With Options.AsyncIngest the server owns an ingestion queue;
+// call DrainIngest before closing the store so acknowledged batches are
+// applied.
+func NewServerOpts(db *DB, mgr *policy.Manager, o Options) (*Server, error) {
 	if db == nil || mgr == nil {
 		return nil, fmt.Errorf("server: nil db or policy manager")
 	}
-	return &Server{db: db, mgr: mgr}, nil
+	s := &Server{db: db, mgr: mgr}
+	if o.AsyncIngest {
+		q, err := ingest.New(db.Store(), ingest.Config{
+			Workers:    o.IngestWorkers,
+			QueueDepth: o.IngestQueueDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.queue = q
+	}
+	return s, nil
+}
+
+// Ingest returns the async ingestion queue, nil when async ingest is
+// disabled.
+func (s *Server) Ingest() *ingest.Queue { return s.queue }
+
+// DrainIngest stops the async ingestion queue and waits for every
+// queued batch to be applied to the Store; if ctx expires first, the
+// remainder is discarded and ctx's error returned. It is a no-op when
+// async ingest is disabled. Call it during graceful shutdown after the
+// HTTP server stops accepting requests and before the store is closed.
+func (s *Server) DrainIngest(ctx context.Context) error {
+	if s.queue == nil {
+		return nil
+	}
+	return s.queue.Close(ctx)
 }
 
 // DB exposes the underlying database (the apps query it directly when

@@ -2,10 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/ingest"
 	"github.com/pglp/panda/internal/server/wire"
 )
 
@@ -24,6 +28,7 @@ const (
 // uniform {error, code} envelope.
 func (s *Server) routeV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/reports", s.handleV2Reports)
+	mux.HandleFunc("GET /v2/ingest/stats", s.handleV2IngestStats)
 	mux.HandleFunc("GET /v2/records", s.handleV2Records)
 	mux.HandleFunc("GET /v2/policy", s.handleV2Policy)
 	mux.HandleFunc("POST /v2/infected", s.handleV2Infected)
@@ -77,6 +82,18 @@ func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
 		return
 	}
+	async := req.Async
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "":
+	case "sync":
+		async = false
+	case "async":
+		async = true
+	default:
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"unknown mode %q (want sync or async)", mode)
+		return
+	}
 	if len(req.Releases) == 0 {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "empty batch: at least one release required")
 		return
@@ -109,12 +126,85 @@ func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
 			Cell: -1, PolicyVersion: up.Version,
 		}
 	}
+	if async && s.queue != nil {
+		s.v2ReportsAsync(w, recs, up.Version)
+		return
+	}
+	// Sync path — also the fallback when async is requested but the
+	// server runs without an ingest queue (the ack is then stronger
+	// than asked for, never weaker).
 	added, replaced, err := s.db.InsertBatch(recs)
 	if err != nil {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, wire.BatchReportResponse{Accepted: added, Replaced: replaced, PolicyVersion: up.Version})
+}
+
+// v2ReportsAsync is the early-acknowledgement leg of POST /v2/reports:
+// validate, enqueue, 202. A full queue answers 429 with the drain-lag
+// retry hint (both in the envelope and the standard Retry-After header);
+// a closed queue (shutdown in progress) answers 503.
+func (s *Server) v2ReportsAsync(w http.ResponseWriter, recs []Record, policyVersion int) {
+	normalized, err := s.db.ValidateBatch(recs)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	// A batch larger than the whole queue can never be admitted — that
+	// is a configuration mismatch, not transient backpressure, so it
+	// must not get a retriable 429 (clients would re-upload the batch
+	// to exhaustion). Send it sync instead, or raise -ingest-queue.
+	if cap := s.queue.Stats().Capacity; len(normalized) > cap {
+		v2Error(w, http.StatusRequestEntityTooLarge, wire.CodeBadRequest,
+			"async batch of %d records exceeds the ingest queue capacity of %d; send it synchronously or split it",
+			len(normalized), cap)
+		return
+	}
+	depth, err := s.queue.TryEnqueue(normalized)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(wire.AsyncReportResponse{
+			Queued: len(normalized), QueueDepth: depth, PolicyVersion: policyVersion,
+		})
+	case errors.Is(err, ingest.ErrFull):
+		hint := s.queue.RetryAfter()
+		w.Header().Set("Content-Type", "application/json")
+		// Retry-After is in whole seconds; sub-second hints round up to 1.
+		w.Header().Set("Retry-After", strconv.Itoa(int((hint+time.Second-1)/time.Second)))
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(wire.Error{
+			Error:        fmt.Sprintf("ingest queue full (%d records pending)", s.queue.Stats().Depth),
+			Code:         wire.CodeQueueFull,
+			RetryAfterMS: int(hint / time.Millisecond),
+		})
+	default: // ingest.ErrClosed
+		v2Error(w, http.StatusServiceUnavailable, wire.CodeUnavailable, "server is shutting down")
+	}
+}
+
+// handleV2IngestStats reports the async ingestion queue's counters.
+// With async ingest disabled it answers enabled=false rather than 404,
+// so monitors can probe the capability uniformly.
+func (s *Server) handleV2IngestStats(w http.ResponseWriter, r *http.Request) {
+	if s.queue == nil {
+		writeJSON(w, wire.IngestStatsResponse{})
+		return
+	}
+	st := s.queue.Stats()
+	writeJSON(w, wire.IngestStatsResponse{
+		Enabled:  true,
+		Depth:    st.Depth,
+		Capacity: st.Capacity,
+		Workers:  st.Workers,
+		Enqueued: st.Enqueued,
+		Drained:  st.Drained,
+		Dropped:  st.Dropped,
+		Rejected: st.Rejected,
+		LagMS:    float64(st.Lag) / float64(time.Millisecond),
+	})
 }
 
 func (s *Server) handleV2Records(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,341 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// Queue capacity and apply-size defaults; see Config.
+const (
+	DefaultQueueDepth = 1 << 16 // 65536 pending records
+	DefaultMaxApply   = 1 << 12 // 4096 records per sink call
+
+	// maxQueuedBatches caps the batch channel's buffer independently of
+	// QueueDepth, so a generous record bound does not translate into a
+	// proportionally huge channel allocation. A full channel is the
+	// same backpressure signal as a full record budget: ErrFull.
+	maxQueuedBatches = 1 << 16
+)
+
+// Errors reported by TryEnqueue. Handlers map ErrFull to 429 (with a
+// retry hint) and ErrClosed to 503.
+var (
+	// ErrFull means the queue is at capacity: the workers are not
+	// draining as fast as producers enqueue. The caller should back off
+	// for RetryAfter and re-send — re-sending is idempotent because the
+	// store replaces on (user, t).
+	ErrFull = errors.New("ingest: queue full")
+	// ErrClosed means Close has begun: the queue no longer accepts
+	// batches (the server is shutting down).
+	ErrClosed = errors.New("ingest: queue closed")
+)
+
+// Sink is where drained batches land: the record store (or the DB's
+// store) behind the surveillance database. Records handed to the sink
+// have already been validated by the enqueueing layer.
+type Sink interface {
+	// InsertBatch stores the records atomically with respect to
+	// snapshots and returns how many were new (storage.Store's
+	// contract).
+	InsertBatch(recs []storage.Record) (added int)
+}
+
+// Config parameterizes a Queue. The zero value selects the defaults
+// noted on each field.
+type Config struct {
+	// Workers is the number of background drain goroutines. <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is the maximum number of pending records (enqueued,
+	// not yet applied). <= 0 uses DefaultQueueDepth. A TryEnqueue that
+	// would exceed it fails with ErrFull — the backpressure signal.
+	QueueDepth int
+	// MaxApply caps how many records a worker coalesces into one sink
+	// call. Coalescing turns many small client batches into few large
+	// store batches, amortizing lock acquisitions and WAL flushes.
+	// <= 0 uses DefaultMaxApply.
+	MaxApply int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxApply <= 0 {
+		c.MaxApply = DefaultMaxApply
+	}
+	return c
+}
+
+// Stats is a point-in-time observation of a queue.
+type Stats struct {
+	Depth    int // records enqueued but not yet applied
+	Capacity int // configured QueueDepth
+	Workers  int // configured worker count
+
+	Enqueued uint64 // records accepted by TryEnqueue since New
+	Drained  uint64 // records applied to the sink
+	Dropped  uint64 // records discarded because the drain deadline expired
+	Rejected uint64 // records refused with ErrFull
+
+	// Lag is the enqueue→apply latency of the most recently applied
+	// batch (its oldest coalesced record) — how far the workers run
+	// behind the acknowledgements.
+	Lag time.Duration
+}
+
+// batch is one enqueued unit: the records of a single TryEnqueue call
+// plus its admission time, from which drain lag is measured.
+type batch struct {
+	recs []storage.Record
+	at   time.Time
+}
+
+// Queue is a bounded in-memory ingestion queue with background drain
+// workers — the early-acknowledgement path of POST /v2/reports. The
+// handler validates and enqueues (202 Accepted); workers batch-apply
+// into the Sink. Capacity is counted in records, so backpressure is
+// proportional to actual work, not request count.
+//
+// The acknowledgement contract is deliberately weak: a 202 means the
+// records passed validation and will be applied unless the process
+// dies first. Durability (when the store is WAL-backed) happens at
+// apply time, not at acknowledgement — clients that need a durable ack
+// must use synchronous mode. Close drains the queue before returning,
+// so a graceful shutdown turns every acknowledgement into an applied
+// (and, with a durable store, persisted) record.
+//
+// A Queue is safe for concurrent use.
+type Queue struct {
+	cfg  Config
+	sink Sink
+	ch   chan batch
+
+	pending  atomic.Int64 // records in ch, not yet applied
+	enqueued atomic.Uint64
+	drained  atomic.Uint64
+	dropped  atomic.Uint64
+	rejected atomic.Uint64
+	lagNS    atomic.Int64
+
+	// mu guards the closed flag against the TryEnqueue send: Close must
+	// not close ch while a send is in flight.
+	mu      sync.RWMutex
+	closed  bool
+	discard atomic.Bool // drain deadline expired: workers discard instead of applying
+	wg      sync.WaitGroup
+}
+
+// New starts a queue draining into sink with cfg.Workers background
+// workers. The queue runs until Close.
+func New(sink Sink, cfg Config) (*Queue, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("ingest: nil sink")
+	}
+	cfg = cfg.withDefaults()
+	chCap := cfg.QueueDepth
+	if chCap > maxQueuedBatches {
+		chCap = maxQueuedBatches
+	}
+	q := &Queue{
+		cfg:  cfg,
+		sink: sink,
+		ch:   make(chan batch, chCap),
+	}
+	q.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	return q, nil
+}
+
+// TryEnqueue admits recs into the queue without blocking. On success it
+// returns the number of records pending *ahead of* this batch at
+// admission — the backlog hint carried in the 202 response. ErrFull
+// means the queue is at capacity (the caller should wait RetryAfter and
+// re-send); ErrClosed means the queue is shutting down. Records must
+// already be validated: the sink applies them unchecked. The queue
+// takes ownership of the slice.
+func (q *Queue) TryEnqueue(recs []storage.Record) (depth int, err error) {
+	if len(recs) == 0 {
+		return int(q.pending.Load()), nil
+	}
+	n := int64(len(recs))
+	after := q.pending.Add(n)
+	if after > int64(q.cfg.QueueDepth) {
+		q.pending.Add(-n)
+		q.rejected.Add(uint64(n))
+		return 0, ErrFull
+	}
+	q.mu.RLock()
+	if q.closed {
+		q.mu.RUnlock()
+		q.pending.Add(-n)
+		return 0, ErrClosed
+	}
+	select {
+	case q.ch <- batch{recs: recs, at: time.Now()}:
+	default:
+		// Record budget left but the batch channel is full (many tiny
+		// batches): same backpressure signal, never a blocking send.
+		q.mu.RUnlock()
+		q.pending.Add(-n)
+		q.rejected.Add(uint64(n))
+		return 0, ErrFull
+	}
+	q.mu.RUnlock()
+	q.enqueued.Add(uint64(n))
+	return int(after - n), nil
+}
+
+// worker drains batches, coalescing queued work up to MaxApply records
+// per sink call so a burst of small client batches becomes a few large
+// store batches.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for b := range q.ch {
+		recs, oldest := b.recs, b.at
+	coalesce:
+		for len(recs) < q.cfg.MaxApply {
+			select {
+			case nb, ok := <-q.ch:
+				if !ok {
+					break coalesce
+				}
+				recs = append(recs, nb.recs...)
+				if nb.at.Before(oldest) {
+					oldest = nb.at
+				}
+			default:
+				break coalesce
+			}
+		}
+		if q.discard.Load() {
+			q.dropped.Add(uint64(len(recs)))
+		} else {
+			q.sink.InsertBatch(recs)
+			q.drained.Add(uint64(len(recs)))
+			q.lagNS.Store(int64(time.Since(oldest)))
+		}
+		q.pending.Add(int64(-len(recs)))
+	}
+}
+
+// discardGrace bounds how long a deadline-expired Close waits for the
+// workers to notice discard mode before abandoning them. Discarding is
+// fast, so this only matters when a worker is wedged inside the sink.
+const discardGrace = 100 * time.Millisecond
+
+// Close stops admissions and waits for the workers to drain every
+// queued batch into the sink. If ctx expires first, the remaining
+// records are discarded (counted in Stats.Dropped) and ctx's error is
+// returned — an acknowledged record is then lost, which is exactly the
+// async-mode contract a forced shutdown buys. A worker blocked inside
+// Sink.InsertBatch cannot be interrupted: Close still returns shortly
+// after the deadline (the deadline is the contract), abandoning the
+// worker, whose in-flight batch may be applied — and counters may
+// tick — after Close has returned. Close is idempotent; concurrent
+// calls all wait for the drain.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed (possibly before the drain got any chance to
+		// run — e.g. the HTTP drain consumed the whole grace). Give the
+		// workers one bounded beat to finish naturally first: an empty
+		// or nearly drained queue must not be reported as a cut-short
+		// drain.
+		tm := time.NewTimer(discardGrace)
+		select {
+		case <-done:
+			tm.Stop()
+			return nil
+		case <-tm.C:
+		}
+		// Still not drained: tell the workers to discard what remains
+		// so they exit promptly, give them a moment to notice, but
+		// never wait unboundedly — a sink that has wedged a worker
+		// would otherwise turn the deadline into a hang.
+		droppedBefore := q.dropped.Load()
+		q.discard.Store(true)
+		tm.Reset(discardGrace)
+		defer tm.Stop()
+		select {
+		case <-done:
+			// The drain finished during the grace beat. If nothing was
+			// actually discarded — the last worker was just slow inside
+			// the sink — the shutdown lost nothing and must not be
+			// reported as cut short.
+			if q.dropped.Load() == droppedBefore {
+				return nil
+			}
+		case <-tm.C:
+		}
+		return ctx.Err()
+	}
+}
+
+// Stats returns a point-in-time observation of the queue. Counters are
+// read individually, so a snapshot taken during heavy traffic may be
+// off by in-flight batches; quiescent snapshots are exact.
+func (q *Queue) Stats() Stats {
+	return Stats{
+		Depth:    int(q.pending.Load()),
+		Capacity: q.cfg.QueueDepth,
+		Workers:  q.cfg.Workers,
+		Enqueued: q.enqueued.Load(),
+		Drained:  q.drained.Load(),
+		Dropped:  q.dropped.Load(),
+		Rejected: q.rejected.Load(),
+		Lag:      time.Duration(q.lagNS.Load()),
+	}
+}
+
+// Retry-after hint bounds: the hint tracks observed drain lag but never
+// tells a client to hammer (below the floor) or give up (above the
+// ceiling).
+const (
+	minRetryAfter     = 25 * time.Millisecond
+	defaultRetryAfter = 100 * time.Millisecond
+	maxRetryAfter     = 2 * time.Second
+)
+
+// RetryAfter is the backpressure hint carried in a 429 response: how
+// long a rejected client should wait before re-sending. It tracks the
+// workers' observed drain lag — if the queue runs a second behind,
+// retrying in 25ms is pointless — clamped to [25ms, 2s].
+func (q *Queue) RetryAfter() time.Duration {
+	lag := time.Duration(q.lagNS.Load())
+	switch {
+	case lag <= 0:
+		return defaultRetryAfter
+	case lag < minRetryAfter:
+		return minRetryAfter
+	case lag > maxRetryAfter:
+		return maxRetryAfter
+	}
+	return lag
+}

@@ -1,0 +1,7 @@
+// Package storage is the record layer of PANDA's server side: the
+// Store contract for released-location records and its two in-process
+// implementations (a single-lock map and a sharded variant). It sits
+// below the analytics engine and the DB facade — it knows nothing about
+// grids, policies, or HTTP — so persistence backends and query engines
+// can both plug in against the same narrow surface.
+package storage

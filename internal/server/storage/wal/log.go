@@ -1,32 +1,3 @@
-// Package wal is the durable persistence backend of the record layer: a
-// write-ahead log layered over an in-memory storage.Store. Every insert
-// is appended to an on-disk log before it touches memory, so the full
-// database state survives process restarts; Open replays the log (and
-// the compacted snapshot, if one exists) to rebuild memory, tolerating a
-// torn final record from a crash mid-append.
-//
-// # On-disk layout
-//
-// A store owns one directory:
-//
-//	snapshot.dat        compacted records, replaced atomically (tmp+rename)
-//	wal-<seq>.log       append segments, replayed in ascending sequence
-//	*.tmp               in-progress snapshots; removed on Open
-//
-// Both file kinds share one format: an 8-byte file header (magic +
-// version) followed by frames of
-//
-//	[4-byte LE payload length][4-byte CRC32-C of payload][payload]
-//
-// where the payload is one fixed-width binary storage.Record. The CRC
-// lets replay distinguish a fully-written record from a torn one: an
-// invalid frame (short header, short payload, wrong length, CRC
-// mismatch) in the final segment marks the torn tail of a crashed
-// append — everything before it is recovered, the tail is truncated
-// away, and appends resume from the truncation point. The same damage
-// anywhere else (an earlier segment, or the snapshot, which is only
-// ever renamed into place complete) cannot be a torn append and is
-// reported as corruption instead of silently dropped.
 package wal
 
 import (

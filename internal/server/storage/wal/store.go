@@ -25,6 +25,7 @@ const (
 	SyncAlways
 )
 
+// String names the policy ("buffered" or "always") for logs and flags.
 func (s Sync) String() string {
 	if s == SyncAlways {
 		return "always"
@@ -325,27 +326,49 @@ func (s *Store) InsertBatch(recs []storage.Record) int {
 	return added
 }
 
-// Reads are served from the hydrated in-memory store.
+// Len reports the stored record count; reads are served from the
+// hydrated in-memory store, never the log.
+func (s *Store) Len() int { return s.mem.Len() }
 
-func (s *Store) Len() int                              { return s.mem.Len() }
-func (s *Store) MaxT() int                             { return s.mem.MaxT() }
+// MaxT reports the largest stored timestep (-1 if empty), from memory.
+func (s *Store) MaxT() int { return s.mem.MaxT() }
+
+// UserRecords returns one user's records in ascending T, from memory.
 func (s *Store) UserRecords(user int) []storage.Record { return s.mem.UserRecords(user) }
+
+// UserRecordsAfter returns up to limit records with T > afterT, from
+// memory.
 func (s *Store) UserRecordsAfter(user, afterT, limit int) []storage.Record {
 	return s.mem.UserRecordsAfter(user, afterT, limit)
 }
-func (s *Store) Users() []int                      { return s.mem.Users() }
-func (s *Store) At(t int) []storage.Record         { return s.mem.At(t) }
+
+// Users returns the IDs with at least one record, ascending, from
+// memory.
+func (s *Store) Users() []int { return s.mem.Users() }
+
+// At returns every user's record at timestep t, from memory.
+func (s *Store) At(t int) []storage.Record { return s.mem.At(t) }
+
+// Scan visits every record in a consistent point-in-time view, from
+// memory.
 func (s *Store) Scan(fn func(storage.Record) bool) { s.mem.Scan(fn) }
+
+// ScanRange visits records with t0 <= T <= t1 in ascending T, from
+// memory.
 func (s *Store) ScanRange(t0, t1 int, fn func(storage.Record) bool) {
 	s.mem.ScanRange(t0, t1, fn)
 }
 
-// Gen and Epoch delegate to memory. Write generations are process
-// state, not log state: a restart replays records (rebuilding nonzero
-// generations) but does not reproduce the previous process's counts —
-// which is fine, because the caches they version are per-process too.
+// Gen returns timestep t's write generation, from memory. Write
+// generations are process state, not log state: a restart replays
+// records (rebuilding nonzero generations) but does not reproduce the
+// previous process's counts — which is fine, because the caches they
+// version are per-process too.
 func (s *Store) Gen(t int) uint64 { return s.mem.Gen(t) }
-func (s *Store) Epoch() uint64    { return s.mem.Epoch() }
+
+// Epoch returns the global write generation, from memory; see Gen for
+// the restart semantics.
+func (s *Store) Epoch() uint64 { return s.mem.Epoch() }
 
 // Err returns the first append or sync failure, if any. Once non-nil
 // the log has stopped growing and only memory is being updated —

@@ -1,0 +1,8 @@
+// Package wire defines the typed JSON protocol of the PANDA /v2 service
+// API: request/response envelopes, the uniform error envelope, machine-
+// readable error codes, and the pagination cursor. It is the single
+// source of truth for what goes over the network — both the server
+// handlers and the client marshal exactly these structs, and it has no
+// dependencies on the rest of the system so external tooling can import
+// it alone.
+package wire

@@ -1,10 +1,3 @@
-// Package wire defines the typed JSON protocol of the PANDA /v2 service
-// API: request/response envelopes, the uniform error envelope, machine-
-// readable error codes, and the pagination cursor. It is the single
-// source of truth for what goes over the network — both the server
-// handlers and the client marshal exactly these structs, and it has no
-// dependencies on the rest of the system so external tooling can import
-// it alone.
 package wire
 
 import (
@@ -21,17 +14,22 @@ const (
 	CodeConsent     = "consent_required" // user has rejected the current policy (403)
 	CodeStalePolicy = "stale_policy"     // client's policy version is outdated (409)
 	CodeInternal    = "internal"         // server-side failure (500)
+	CodeQueueFull   = "queue_full"       // async ingest queue at capacity, retry later (429)
+	CodeUnavailable = "unavailable"      // server is shutting down (503)
 )
 
 // Error is the uniform /v2 error envelope. Every non-2xx response body
 // decodes into it. On CodeStalePolicy the server includes the user's
 // current policy inline so the client can re-sync without a second round
 // trip (the dynamic-policy renegotiation of the contact-tracing
-// protocol).
+// protocol). On CodeQueueFull the server includes RetryAfterMS, its
+// backpressure hint: how long the client should wait before re-sending
+// the same batch (safe — ingestion replaces on (user, t)).
 type Error struct {
-	Error  string  `json:"error"`
-	Code   string  `json:"code"`
-	Policy *Policy `json:"policy,omitempty"`
+	Error        string  `json:"error"`
+	Code         string  `json:"code"`
+	Policy       *Policy `json:"policy,omitempty"`
+	RetryAfterMS int     `json:"retry_after_ms,omitempty"`
 }
 
 // Policy is the wire form of a user's location-privacy policy. The graph
@@ -54,20 +52,51 @@ type Release struct {
 // BatchReportRequest is the body of POST /v2/reports: many releases from
 // one user under one policy version. PolicyVersion is required (≥ 1);
 // unlike /v1, a zero version is rejected rather than skipping the
-// staleness check.
+// staleness check. Async, equivalent to the ?mode=async query parameter,
+// requests early acknowledgement: the server validates and enqueues the
+// batch, answering 202 Accepted before the records reach the store.
 type BatchReportRequest struct {
 	User          int       `json:"user"`
 	PolicyVersion int       `json:"policy_version"`
 	Releases      []Release `json:"releases"`
+	Async         bool      `json:"async,omitempty"`
 }
 
-// BatchReportResponse summarizes a batch ingest: how many releases were
-// new, how many replaced an existing (user, t) record (the re-send
-// path), and the policy version they were accepted under.
+// BatchReportResponse summarizes a synchronous batch ingest: how many
+// releases were new, how many replaced an existing (user, t) record (the
+// re-send path), and the policy version they were accepted under.
 type BatchReportResponse struct {
 	Accepted      int `json:"accepted"`
 	Replaced      int `json:"replaced"`
 	PolicyVersion int `json:"policy_version"`
+}
+
+// AsyncReportResponse is the 202 Accepted body of an async batch report:
+// the batch passed validation and was queued, not yet applied (and, on a
+// durable store, not yet persisted — ack ≠ durable). QueueDepth is the
+// number of records pending behind this acknowledgement, a load signal
+// clients can use to self-throttle before hitting 429s.
+type AsyncReportResponse struct {
+	Queued        int `json:"queued"`
+	QueueDepth    int `json:"queue_depth"`
+	PolicyVersion int `json:"policy_version"`
+}
+
+// IngestStatsResponse is the body of GET /v2/ingest/stats — the
+// observability surface of the async ingestion queue. With async ingest
+// disabled, Enabled is false and every other field is zero.
+type IngestStatsResponse struct {
+	Enabled  bool   `json:"enabled"`
+	Depth    int    `json:"depth"`    // records enqueued, not yet applied
+	Capacity int    `json:"capacity"` // queue bound in records
+	Workers  int    `json:"workers"`  // background drain workers
+	Enqueued uint64 `json:"enqueued"` // records accepted (202) since start
+	Drained  uint64 `json:"drained"`  // records applied to the store
+	Dropped  uint64 `json:"dropped"`  // records lost to a forced shutdown
+	Rejected uint64 `json:"rejected"` // records refused with 429
+	// LagMS is the enqueue→apply latency of the most recently applied
+	// batch in milliseconds — how far the drain runs behind the acks.
+	LagMS float64 `json:"lag_ms"`
 }
 
 // Record is the wire form of one stored release.

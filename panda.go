@@ -26,6 +26,7 @@
 package panda
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
@@ -38,6 +39,7 @@ import (
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/policygraph"
 	"github.com/pglp/panda/internal/server"
+	"github.com/pglp/panda/internal/server/ingest"
 	"github.com/pglp/panda/internal/server/storage/wal"
 )
 
@@ -101,6 +103,21 @@ type Options struct {
 	// flushed to the OS per write and fsynced on compaction and Close —
 	// they survive a process crash but not a power cut.
 	FsyncEveryWrite bool
+	// AsyncIngest enables the early-acknowledgement mode of the HTTP
+	// API's POST /v2/reports: async batches are validated, queued and
+	// acknowledged with 202 before reaching the store; background
+	// workers drain the queue (see ARCHITECTURE.md). A full queue
+	// answers 429 with a retry hint. Close drains the queue before
+	// closing the store, so graceful shutdown preserves every
+	// acknowledged record.
+	AsyncIngest bool
+	// IngestWorkers is the number of background drain workers; 0 uses
+	// GOMAXPROCS. Only meaningful with AsyncIngest.
+	IngestWorkers int
+	// IngestQueueDepth bounds the ingest queue in records (the
+	// backpressure threshold); 0 uses the ingest package default
+	// (65536). Only meaningful with AsyncIngest.
+	IngestQueueDepth int
 }
 
 // System is the server side of PANDA: the policy configuration module, the
@@ -154,7 +171,11 @@ func NewSystem(o Options) (*System, error) {
 	} else {
 		db = server.NewShardedDB(grid, o.StoreShards)
 	}
-	srv, err := server.NewServer(db, mgr)
+	srv, err := server.NewServerOpts(db, mgr, server.Options{
+		AsyncIngest:      o.AsyncIngest,
+		IngestWorkers:    o.IngestWorkers,
+		IngestQueueDepth: o.IngestQueueDepth,
+	})
 	if err != nil {
 		if walStore != nil {
 			walStore.Close()
@@ -167,14 +188,30 @@ func NewSystem(o Options) (*System, error) {
 	}, nil
 }
 
-// Close flushes and closes the persistent store, if the system has one
-// (Options.DataDir); it is a no-op for memory-only systems. The system
-// must not be used afterwards.
+// Close shuts the system down in dependency order: the async ingest
+// queue (Options.AsyncIngest) is drained first — every acknowledged
+// batch is applied — and then the persistent store (Options.DataDir),
+// if any, is flushed and closed. It is a no-op for memory-only systems
+// without async ingest. The system must not be used afterwards.
 func (s *System) Close() error {
+	drainErr := s.srv.DrainIngest(context.Background())
 	if s.store == nil {
-		return nil
+		return drainErr
 	}
-	return s.store.Close()
+	if err := s.store.Close(); err != nil && drainErr == nil {
+		return err
+	}
+	return drainErr
+}
+
+// IngestStats returns the async ingestion queue's counters and true,
+// or a zero value and false when the system runs without AsyncIngest.
+func (s *System) IngestStats() (ingest.Stats, bool) {
+	q := s.srv.Ingest()
+	if q == nil {
+		return ingest.Stats{}, false
+	}
+	return q.Stats(), true
 }
 
 // NumCells returns the number of locations on the map.
@@ -314,12 +351,11 @@ func (u *User) Report(t, trueCell int) (Release, error) {
 	return rels[0], nil
 }
 
-// ReportBatch releases a run of true cells (one release per step,
-// starting at fromT) under the user's current policy and stores them all
-// in one batch insert — the whole-history re-send of the contact-tracing
-// protocol in a single storage round trip. The policy is refreshed once
-// up front; window budgeting, when configured, is charged per step.
-func (u *User) ReportBatch(fromT int, cells []int) ([]Release, error) {
+// releaseBatch perturbs a run of true cells under the user's current
+// policy (refreshing it once up front, charging the window budget per
+// step) without storing anything — the shared front half of
+// ReportBatch and Release.
+func (u *User) releaseBatch(fromT int, cells []int) ([]Release, error) {
 	// Reject bad timesteps and cells before any budget is spent: the
 	// window accountant's charges are not refundable, so nothing may
 	// fail between the first Spend and the batch insert.
@@ -337,7 +373,6 @@ func (u *User) ReportBatch(fromT int, cells []int) ([]Release, error) {
 		}
 	}
 	out := make([]Release, 0, len(cells))
-	recs := make([]server.Record, 0, len(cells))
 	for i, c := range cells {
 		t := fromT + i
 		if u.window != nil {
@@ -350,7 +385,38 @@ func (u *User) ReportBatch(fromT int, cells []int) ([]Release, error) {
 			return nil, err
 		}
 		out = append(out, Release{Point: p, Cell: cell, T: t})
-		recs = append(recs, server.Record{User: u.id, T: t, Point: p, Cell: cell, PolicyVersion: u.ver})
+	}
+	return out, nil
+}
+
+// Release perturbs the user's true cell at timestep t under their
+// current policy without storing the result — for clients that ship
+// releases to a remote server over the /v2 API (sync or async) instead
+// of the in-process database. Policy refresh and window budgeting
+// behave exactly like Report.
+func (u *User) Release(t, trueCell int) (Release, error) {
+	rels, err := u.releaseBatch(t, []int{trueCell})
+	if err != nil {
+		return Release{}, err
+	}
+	return rels[0], nil
+}
+
+// ReportBatch releases a run of true cells (one release per step,
+// starting at fromT) under the user's current policy and stores them all
+// in one batch insert — the whole-history re-send of the contact-tracing
+// protocol in a single storage round trip. The policy is refreshed once
+// up front; window budgeting, when configured, is charged per step.
+func (u *User) ReportBatch(fromT int, cells []int) ([]Release, error) {
+	out, err := u.releaseBatch(fromT, cells)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]server.Record, 0, len(out))
+	for _, rel := range out {
+		recs = append(recs, server.Record{
+			User: u.id, T: rel.T, Point: rel.Point, Cell: rel.Cell, PolicyVersion: u.ver,
+		})
 	}
 	if _, _, err := u.sys.db.InsertBatch(recs); err != nil {
 		return nil, err

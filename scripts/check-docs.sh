@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# check-docs.sh — fail if any internal/... package lacks a package
+# comment (a contiguous // block immediately above its `package` clause
+# in some non-test .go file; by convention it lives in doc.go).
+#
+# Run from the repository root:  ./scripts/check-docs.sh
+set -eu
+
+fail=0
+for dir in $(find internal -type d); do
+    # A package is a directory with at least one non-test .go file.
+    has_go=0
+    documented=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        has_go=1
+        # "a // line immediately before the package clause" == the line
+        # preceding the first `package ` line starts with //.
+        if awk '
+            /^package / { exit (prev ~ /^\/\//) ? 0 : 1 }
+            { prev = $0 }
+        ' "$f"; then
+            documented=1
+            break
+        fi
+    done
+    if [ "$has_go" -eq 1 ] && [ "$documented" -eq 0 ]; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc check failed: every internal/... package needs a package comment (see ARCHITECTURE.md)" >&2
+    exit 1
+fi
+echo "doc check: every internal package has a package comment"
