@@ -33,6 +33,7 @@ type loadConfig struct {
 	durable bool
 	dir     string // WAL directory; empty = a fresh temp dir
 	fsync   bool   // fsync every append (wal.SyncAlways) vs buffered
+	stripes int    // WAL stripes / store shards; 0 = 16 (the pre-stripe default)
 
 	// Async mode: report with early acknowledgement (202 + background
 	// drain) so the recorded ingest latency is ack latency, not store
@@ -81,6 +82,10 @@ func (l *latencyRecorder) report(w *os.File, name string, n int) {
 // cache). Returns a non-nil error on any failed request.
 func runLoad(cfg loadConfig) error {
 	base := cfg.url
+	stripes := cfg.stripes
+	if stripes < 1 {
+		stripes = 16
+	}
 	var walStore *wal.Store
 	if base == "" {
 		grid := geo.MustGrid(32, 32, 1)
@@ -102,7 +107,7 @@ func runLoad(cfg loadConfig) error {
 			if cfg.fsync {
 				sync = wal.SyncAlways
 			}
-			walStore, err = wal.Open(dir, wal.Options{Shards: 16, Sync: sync})
+			walStore, err = wal.Open(dir, wal.Options{Shards: stripes, Sync: sync})
 			if err != nil {
 				return err
 			}
@@ -111,9 +116,9 @@ func runLoad(cfg loadConfig) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("load: durable store: wal in %s, sync=%s\n", dir, sync)
+			fmt.Printf("load: durable store: wal in %s, sync=%s, %d stripes\n", dir, sync, stripes)
 		} else {
-			db = server.NewShardedDB(grid, 16)
+			db = server.NewShardedDB(grid, stripes)
 		}
 		srv, err := server.NewServerOpts(db, mgr, server.Options{AsyncIngest: cfg.async})
 		if err != nil {
@@ -130,7 +135,7 @@ func runLoad(cfg loadConfig) error {
 		if cfg.async {
 			mode = "async ingest"
 		}
-		fmt.Printf("load: in-process server at %s (32x32 grid, 16 store shards, %s)\n", base, mode)
+		fmt.Printf("load: in-process server at %s (32x32 grid, %d store shards, %s)\n", base, stripes, mode)
 	} else {
 		if cfg.durable {
 			return fmt.Errorf("-ldurable only applies to the in-process server (drop -url)")
@@ -250,8 +255,8 @@ func runLoad(cfg loadConfig) error {
 			return fmt.Errorf("wal sync after ingest: %w", err)
 		}
 		st := walStore.Stats()
-		fmt.Printf("load: wal after ingest: %d live records, %d garbage, segment %d, %d compactions\n",
-			st.LiveRecords, st.Garbage, st.ActiveSeq, st.Compactions)
+		fmt.Printf("load: wal after ingest: %d live records, %d garbage, %d stripes, top segment %d, %d compactions\n",
+			st.LiveRecords, st.Garbage, st.Stripes, st.ActiveSeq, st.Compactions)
 	}
 
 	// Phase 2: analytics queries. Repeated shapes hit the engine cache;

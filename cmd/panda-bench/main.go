@@ -31,12 +31,19 @@
 // early ack buys over durable sync ingest:
 //
 //	panda-bench -load -ldurable -lasync        # async acks over the WAL
+//
+// -lstripes sets the WAL stripe count (= store shards) and, given a
+// comma list, sweeps the whole ingest run per count — the
+// parallel-durability scaling curve of PERSISTENCE.md:
+//
+//	panda-bench -load -ldurable -lfsync -lstripes 1,4,8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/pglp/panda/internal/experiments"
@@ -60,10 +67,20 @@ func main() {
 		lDir     = flag.String("ldir", "", "load: WAL directory for -ldurable (empty = fresh temp dir)")
 		lFsync   = flag.Bool("lfsync", false, "load: with -ldurable, fsync every append instead of buffering")
 		lAsync   = flag.Bool("lasync", false, "load: report via async ingestion (202 early acks, background drain)")
+		lStripes = flag.String("lstripes", "16", "load: WAL stripes / store shards; a comma list (e.g. 1,4,8) sweeps the ingest run per count")
 	)
 	flag.Parse()
 
 	if *load {
+		var stripeRuns []int
+		for _, tok := range strings.Split(*lStripes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "panda-bench: -lstripes wants positive integers, got %q\n", tok)
+				os.Exit(2)
+			}
+			stripeRuns = append(stripeRuns, n)
+		}
 		cfg := loadConfig{
 			url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries,
 			durable: *lDurable, dir: *lDir, fsync: *lFsync, async: *lAsync,
@@ -72,9 +89,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")
 			os.Exit(2)
 		}
-		if err := runLoad(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "panda-bench: load: %v\n", err)
-			os.Exit(1)
+		if len(stripeRuns) > 1 && (!cfg.durable || cfg.url != "" || cfg.dir != "") {
+			fmt.Fprintln(os.Stderr, "panda-bench: an -lstripes sweep needs -ldurable, no -url, and no -ldir (each run opens a fresh WAL)")
+			os.Exit(2)
+		}
+		for i, n := range stripeRuns {
+			if len(stripeRuns) > 1 {
+				if i > 0 {
+					fmt.Println()
+				}
+				fmt.Printf("load: ===== stripes=%d =====\n", n)
+			}
+			cfg.stripes = n
+			if err := runLoad(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "panda-bench: load: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -13,9 +13,15 @@
 //	panda-server -async-ingest                   # early-ack report ingestion
 //	panda-server -async-ingest -ingest-workers 8 -ingest-queue 131072
 //
-// With -data-dir the record store is backed by an append-only write-
-// ahead log: reports survive restarts, and on SIGINT/SIGTERM the server
-// drains in-flight requests, flushes and closes the log before exiting.
+// With -data-dir the record store is backed by a striped append-only
+// write-ahead log (one log per store shard, so durable writes
+// parallelize across cores): reports survive restarts, and on
+// SIGINT/SIGTERM the server drains in-flight requests, flushes and
+// closes the logs before exiting. The stripe count is pinned by the
+// directory's MANIFEST; a dir left at the default -shards adopts the
+// manifest's count on reopen, an explicit mismatch fails loudly, and a
+// pre-stripe (single-log) dir is migrated in place on first open. See
+// PERSISTENCE.md for the on-disk format and operational procedures.
 //
 // With -async-ingest, POST /v2/reports?mode=async batches are validated,
 // queued and acknowledged with 202 before they reach the store; a full
@@ -115,16 +121,38 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		if *fsync {
 			sync = wal.SyncAlways
 		}
-		durability = fmt.Sprintf("wal %s (sync=%s)", *dataDir, sync)
+		// The data dir's MANIFEST pins its stripe count. When -shards
+		// was left at its default (GOMAXPROCS — a value that changes
+		// across machines), adopt the directory's count instead of
+		// failing on a machine with a different core count; an
+		// explicit -shards that disagrees still fails loudly
+		// (wal.ErrStripeMismatch) rather than mis-shard the logs.
+		shardsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsSet = true
+			}
+		})
+		if n, ok, merr := wal.Manifest(*dataDir); merr != nil {
+			return merr
+		} else if ok && !shardsSet && n != *shards {
+			log.Printf("panda-server: %s is laid out with %d stripes; adopting (pass -shards %d to silence, or restripe per PERSISTENCE.md)", *dataDir, n, n)
+			*shards = n
+		}
+		durability = fmt.Sprintf("wal %s (sync=%s, %d stripes)", *dataDir, sync, *shards)
 		store, err = wal.Open(*dataDir, wal.Options{Shards: *shards, Sync: sync})
 		if err != nil {
 			return err
 		}
-		if st := store.Stats(); st.TornTail {
-			log.Printf("panda-server: recovered %d records from %s (dropped a torn final record)", st.LiveRecords, *dataDir)
-		} else {
-			log.Printf("panda-server: recovered %d records from %s", st.LiveRecords, *dataDir)
+		st := store.Stats()
+		suffix := ""
+		if st.TornTail {
+			suffix = " (dropped a torn final record)"
 		}
+		if st.Migrated {
+			log.Printf("panda-server: migrated legacy single-log layout in %s to %d stripes", *dataDir, st.Stripes)
+		}
+		log.Printf("panda-server: recovered %d records from %s%s", st.LiveRecords, *dataDir, suffix)
 		db, err = server.NewDBOn(grid, store)
 	} else {
 		db = server.NewShardedDB(grid, *shards)

@@ -9,7 +9,12 @@
 // mode the handler validates, enqueues, and answers 202 Accepted
 // immediately; workers drain the queue in the background, coalescing
 // many small client batches into few large store batches (amortizing
-// lock acquisitions and WAL flushes).
+// lock acquisitions and WAL flushes). With the striped WAL behind the
+// sink, the N drain workers genuinely apply in parallel: a coalesced
+// batch takes only the stripe locks its users route to, batches on
+// disjoint stripes proceed concurrently, and each worker's fsync
+// covers its own stripes (group-committed with any same-stripe
+// neighbor) instead of queueing on one global log mutex.
 //
 // The contract has three legs:
 //

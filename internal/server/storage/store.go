@@ -272,33 +272,80 @@ func (s *memStore) scanRangeLocked(t0, t1 int, fn func(Record) bool) bool {
 	return true
 }
 
-// shardedStore distributes users across N independently locked memStores
+// ShardFor is the single routing function of the record layer: it maps a
+// user ID onto one of n shards. Every layer that partitions records by
+// user — the sharded memory store's lock shards, the WAL's log stripes —
+// must route through this function, so that "the shard a record lives in"
+// and "the stripe its log entry lives in" can never disagree. n < 1 is
+// treated as 1.
+func ShardFor(user, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return int(uint(user) % uint(n))
+}
+
+// Sharded distributes users across N independently locked memStores
 // so concurrent ingestion from different users does not contend on one
 // mutex. Cross-user reads (Users, At, Scan, ScanRange, Len, MaxT) visit
 // every shard; Gen and Epoch are sums of per-shard counters, which stay
 // monotonic because each addend only grows.
-type shardedStore struct {
+//
+// Beyond the plain Store interface, Sharded exposes its partition to
+// cooperating layers (NumShards, ShardLen, ScanShard, InsertGrouped):
+// the WAL uses these to keep one log stripe per memory shard and to
+// snapshot a single shard's records under that shard's lock alone.
+type Sharded struct {
 	shards []*memStore
 }
 
-// NewShardedStore returns a store with n independent lock shards keyed by
-// user ID. n < 1 is treated as 1.
-func NewShardedStore(n int) Store {
+// NewSharded returns a store with n independent lock shards keyed by
+// user ID (via ShardFor). n < 1 is treated as 1.
+func NewSharded(n int) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &shardedStore{shards: make([]*memStore, n)}
+	s := &Sharded{shards: make([]*memStore, n)}
 	for i := range s.shards {
 		s.shards[i] = newMemStore()
 	}
 	return s
 }
 
-func (s *shardedStore) shard(user int) *memStore {
-	return s.shards[uint(user)%uint(len(s.shards))]
+// NewShardedStore returns NewSharded(n) as a plain Store.
+func NewShardedStore(n int) Store { return NewSharded(n) }
+
+// NumShards returns the number of lock shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardLen returns the record count of shard i alone.
+func (s *Sharded) ShardLen(i int) int { return s.shards[i].Len() }
+
+// ScanShard calls fn for every record routed to shard i (order
+// unspecified), stopping early if fn returns false. It holds only that
+// shard's read lock, so it presents a consistent point-in-time view of
+// the shard without blocking writes elsewhere — the primitive behind
+// per-stripe WAL snapshots.
+func (s *Sharded) ScanShard(i int, fn func(Record) bool) {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, rs := range sh.recs {
+		for _, rec := range rs {
+			if !fn(rec) {
+				return
+			}
+		}
+	}
 }
 
-func (s *shardedStore) Insert(rec Record) bool {
+func (s *Sharded) shard(user int) *memStore {
+	return s.shards[ShardFor(user, len(s.shards))]
+}
+
+// Insert stores rec in its user's shard, replacing on (user, t); only
+// that shard's lock is taken.
+func (s *Sharded) Insert(rec Record) bool {
 	return s.shard(rec.User).Insert(rec)
 }
 
@@ -306,40 +353,57 @@ func (s *shardedStore) Insert(rec Record) bool {
 // same order Scan uses) before inserting anything, so the whole batch
 // becomes visible atomically — a concurrent Scan sees all of it or none
 // of it.
-func (s *shardedStore) InsertBatch(recs []Record) int {
+func (s *Sharded) InsertBatch(recs []Record) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	groups := make(map[int][]Record)
+	groups := make([][]Record, len(s.shards))
 	for _, rec := range recs {
-		i := int(uint(rec.User) % uint(len(s.shards)))
+		i := ShardFor(rec.User, len(s.shards))
 		groups[i] = append(groups[i], rec)
 	}
-	involved := make([]int, 0, len(groups))
-	for i := range groups {
-		involved = append(involved, i)
+	added := s.InsertGrouped(groups)
+	total := 0
+	for _, a := range added {
+		total += a
 	}
-	sort.Ints(involved)
-	for _, i := range involved {
-		s.shards[i].mu.Lock()
+	return total
+}
+
+// InsertGrouped is InsertBatch for callers that have already partitioned
+// the batch: groups[i] holds the records routed (via ShardFor) to shard
+// i, and the returned slice reports how many of each group were new
+// rather than replacements. Like InsertBatch it locks every involved
+// shard before inserting anything, so the whole batch becomes visible
+// atomically. The caller must route correctly — records placed in the
+// wrong group land in the wrong shard and become unreachable through
+// the per-user read path.
+func (s *Sharded) InsertGrouped(groups [][]Record) []int {
+	added := make([]int, len(s.shards))
+	for i, g := range groups {
+		if len(g) > 0 {
+			s.shards[i].mu.Lock()
+		}
 	}
 	defer func() {
-		for _, i := range involved {
-			s.shards[i].mu.Unlock()
+		for i, g := range groups {
+			if len(g) > 0 {
+				s.shards[i].mu.Unlock()
+			}
 		}
 	}()
-	added := 0
-	for _, i := range involved {
-		for _, rec := range groups[i] {
+	for i, g := range groups {
+		for _, rec := range g {
 			if s.shards[i].insertLocked(rec) {
-				added++
+				added[i]++
 			}
 		}
 	}
 	return added
 }
 
-func (s *shardedStore) Len() int {
+// Len sums the record counts of every shard.
+func (s *Sharded) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		n += sh.Len()
@@ -347,7 +411,8 @@ func (s *shardedStore) Len() int {
 	return n
 }
 
-func (s *shardedStore) MaxT() int {
+// MaxT returns the largest timestep across shards, -1 if empty.
+func (s *Sharded) MaxT() int {
 	max := -1
 	for _, sh := range s.shards {
 		if t := sh.MaxT(); t > max {
@@ -357,7 +422,9 @@ func (s *shardedStore) MaxT() int {
 	return max
 }
 
-func (s *shardedStore) Gen(t int) uint64 {
+// Gen sums the per-shard write generations of timestep t; monotone
+// because each addend is bumped inside its shard's critical section.
+func (s *Sharded) Gen(t int) uint64 {
 	var g uint64
 	for _, sh := range s.shards {
 		g += sh.Gen(t)
@@ -365,7 +432,8 @@ func (s *shardedStore) Gen(t int) uint64 {
 	return g
 }
 
-func (s *shardedStore) Epoch() uint64 {
+// Epoch sums the per-shard global write generations; monotone like Gen.
+func (s *Sharded) Epoch() uint64 {
 	var e uint64
 	for _, sh := range s.shards {
 		e += sh.Epoch()
@@ -373,15 +441,20 @@ func (s *shardedStore) Epoch() uint64 {
 	return e
 }
 
-func (s *shardedStore) UserRecords(user int) []Record {
+// UserRecords returns a copy of one user's records (ascending T) from
+// their shard.
+func (s *Sharded) UserRecords(user int) []Record {
 	return s.shard(user).UserRecords(user)
 }
 
-func (s *shardedStore) UserRecordsAfter(user, afterT, limit int) []Record {
+// UserRecordsAfter pages one user's records (T > afterT, up to limit)
+// from their shard.
+func (s *Sharded) UserRecordsAfter(user, afterT, limit int) []Record {
 	return s.shard(user).UserRecordsAfter(user, afterT, limit)
 }
 
-func (s *shardedStore) Users() []int {
+// Users merges every shard's user IDs, ascending.
+func (s *Sharded) Users() []int {
 	var out []int
 	for _, sh := range s.shards {
 		out = append(out, sh.Users()...)
@@ -390,7 +463,8 @@ func (s *shardedStore) Users() []int {
 	return out
 }
 
-func (s *shardedStore) At(t int) []Record {
+// At collects every shard's records at timestep t, ordered by user ID.
+func (s *Sharded) At(t int) []Record {
 	var out []Record
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -404,7 +478,7 @@ func (s *shardedStore) At(t int) []Record {
 // Scan read-locks every shard (in index order) before visiting any
 // record, so the view is consistent across shards — a batch insert
 // spanning shards can never be half-visible in a snapshot.
-func (s *shardedStore) Scan(fn func(Record) bool) {
+func (s *Sharded) Scan(fn func(Record) bool) {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}
@@ -426,7 +500,7 @@ func (s *shardedStore) Scan(fn func(Record) bool) {
 
 // ScanRange read-locks every shard like Scan, then walks timesteps in
 // ascending order across all shards' indexes.
-func (s *shardedStore) ScanRange(t0, t1 int, fn func(Record) bool) {
+func (s *Sharded) ScanRange(t0, t1 int, fn func(Record) bool) {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}

@@ -13,6 +13,9 @@ package wal
 // ingestion (one fsync per batch) is the intended durable write path.
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/pglp/panda/internal/server/storage"
@@ -68,6 +71,66 @@ func BenchmarkInsertBatch100WALFsync(b *testing.B) {
 	s := mustOpenB(b, Options{Sync: SyncAlways, CompactMinGarbage: -1})
 	defer s.Close()
 	benchInsertBatch(b, s, 100)
+}
+
+// Stripe-scaling benchmarks: concurrent durable batch inserts, each
+// goroutine confined to one stripe (the shape a shard-partitioned
+// drain worker or a per-user client fleet produces), at 1/4/8
+// stripes. This is the headline number of the striped WAL — fsync
+// batch throughput growing with stripes because each stripe fsyncs on
+// its own mutex, with group commit absorbing same-stripe contention.
+// CI records it as the bench-wal-stripes.txt artifact; PERSISTENCE.md
+// keeps a measured table.
+func benchStripedBatch(b *testing.B, stripes int, sync Sync) {
+	b.Helper()
+	s := mustOpenB(b, Options{Shards: stripes, Sync: sync, CompactMinGarbage: -1})
+	defer s.Close()
+	const batch = 100
+	var gid atomic.Int64
+	// Ensure at least 8 writer goroutines so every stripe sees
+	// contention even on small machines: fsyncs overlap in the kernel
+	// on one P (a goroutine blocked in fsync releases it). RunParallel
+	// spawns parallelism*GOMAXPROCS goroutines, so machines with more
+	// cores run more writers — compare trend lines per machine, not
+	// across machines.
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		b.SetParallelism((8 + p - 1) / p)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(batch * frameSize))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(gid.Add(1) - 1)
+		// Every user of goroutine g routes to stripe g%stripes, and no
+		// two goroutines share a user: distinct (g, j) give distinct
+		// base+stripes*(g*batch+j).
+		base := g % stripes
+		recs := make([]storage.Record, batch)
+		t := 0
+		for pb.Next() {
+			for j := range recs {
+				recs[j] = rec(base+stripes*(g*batch+j), t, (t+j)%64)
+			}
+			s.InsertBatch(recs)
+			t++
+		}
+	})
+}
+
+func BenchmarkStripedBatch100Fsync(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stripes=%d", n), func(b *testing.B) {
+			benchStripedBatch(b, n, SyncAlways)
+		})
+	}
+}
+
+func BenchmarkStripedBatch100Buffered(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("stripes=%d", n), func(b *testing.B) {
+			benchStripedBatch(b, n, SyncBuffered)
+		})
+	}
 }
 
 // BenchmarkReplay measures recovery speed: how fast Open rebuilds

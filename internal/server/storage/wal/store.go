@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 
 	"github.com/pglp/panda/internal/server/storage"
@@ -20,8 +18,10 @@ const (
 	// crash) but fsyncs only on rotation and Close — the throughput
 	// mode; a power failure can lose the most recent appends.
 	SyncBuffered Sync = iota
-	// SyncAlways fsyncs after every Insert/InsertBatch — the durability
-	// mode; an acknowledged write survives power failure.
+	// SyncAlways fsyncs before Insert/InsertBatch returns — the
+	// durability mode; an acknowledged write survives power failure.
+	// Concurrent writers on the same stripe share fsyncs (group
+	// commit), and writers on different stripes fsync in parallel.
 	SyncAlways
 )
 
@@ -33,25 +33,35 @@ func (s Sync) String() string {
 	return "buffered"
 }
 
-// Options configures a WAL-backed store. The zero value is usable:
-// single-lock memory store, buffered syncs, default compaction
+// Options configures a WAL-backed store. The zero value is usable: one
+// stripe over a single memory shard, buffered syncs, default compaction
 // thresholds.
 type Options struct {
-	// Shards selects the in-memory store the log hydrates: <= 1 the
-	// single-lock store, otherwise a sharded store with that many locks.
-	// Note the write path is serialized by the log regardless; shards
-	// help the read path under write load.
+	// Shards selects the number of storage shards, which is also the
+	// number of log stripes: the store keeps one independently locked
+	// append log per memory shard, routed by storage.ShardFor, so
+	// concurrent writes to different shards append (and fsync) in
+	// parallel. The count is pinned by the directory's MANIFEST on
+	// first Open; reopening with a different explicit value fails with
+	// ErrStripeMismatch rather than silently mis-sharding (see
+	// PERSISTENCE.md to restripe). 0 means "no opinion": adopt an
+	// existing directory's MANIFEST count, or lay out a fresh
+	// directory with a single stripe. Negative and 1 both mean an
+	// explicit single stripe.
 	Shards int
 	// Sync is the append durability policy.
 	Sync Sync
 	// CompactMinGarbage is the number of superseded (user, t) records
-	// that must accumulate in the log before the background compactor
-	// considers rewriting it. 0 selects the default (8192); negative
-	// disables automatic compaction (Compact may still be called).
+	// that must accumulate in one stripe's log before that stripe's
+	// background compactor considers rewriting it. 0 selects the
+	// default (8192); negative disables automatic compaction (Compact
+	// may still be called). The threshold is per stripe: each stripe
+	// compacts on its own garbage, independently of the others.
 	CompactMinGarbage int
-	// CompactGarbageFraction is the garbage/(garbage+live) ratio that,
-	// together with CompactMinGarbage, triggers compaction. 0 selects
-	// the default (0.5).
+	// CompactGarbageFraction is the garbage/(garbage+live) ratio —
+	// measured within one stripe — that, together with
+	// CompactMinGarbage, triggers compaction. 0 selects the default
+	// (0.5).
 	CompactGarbageFraction float64
 }
 
@@ -62,67 +72,76 @@ const (
 	snapshotName = "snapshot.dat"
 )
 
-// Stats is a point-in-time observation of a store's log state.
+// Stats is a point-in-time observation of a store's log state,
+// aggregated across stripes.
 type Stats struct {
 	LiveRecords int    // records in memory (== storage.Store.Len)
-	Garbage     int    // superseded records still occupying log bytes
-	ActiveSeq   uint64 // sequence number of the append segment
-	Compactions uint64 // completed snapshot rewrites since Open
-	TornTail    bool   // whether Open truncated a torn final record
-	CompactErr  error  // latest background-compaction failure, nil once one succeeds
+	Garbage     int    // superseded records still occupying log bytes, all stripes
+	Stripes     int    // number of log stripes (== memory shards, MANIFEST-pinned)
+	ActiveSeq   uint64 // highest active segment sequence across stripes
+	Compactions uint64 // completed per-stripe snapshot rewrites since Open
+	TornTail    bool   // whether Open truncated a torn final record in any stripe
+	Migrated    bool   // whether Open migrated a legacy single-log layout
+	CompactErr  error  // first stripe's unrecovered background-compaction failure, nil once all succeed
 }
 
-// Store is a durable storage.Store: an append-only write-ahead log over
-// an in-memory store. Writes append to the log before touching memory;
-// reads are served entirely from memory. A background compactor rewrites
-// the log as snapshot+tail when superseded records cross the configured
-// thresholds. Close flushes and stops the compactor; a Store must be
-// Closed before its directory is opened again.
+// Store is a durable storage.Store: N append-only write-ahead log
+// stripes — one per memory shard — over a sharded in-memory store.
+// Writes append to their stripe's log before touching memory; reads
+// are served entirely from memory. Each stripe has its own append
+// mutex, segment sequence, snapshot, and background compactor, so the
+// durable write path parallelizes across shards instead of serializing
+// on one log mutex. Close flushes and stops the compactors; a Store
+// must be Closed before its directory is opened again.
+//
+// Crash-safety contract, in terms of what survives where:
+//
+//   - After Insert/InsertBatch returns under SyncAlways, the records
+//     are on stable storage (each involved stripe was fsynced) and a
+//     crash or power cut replays them.
+//   - Under SyncBuffered they are in the OS page cache: a process
+//     crash keeps them, a power cut may drop a suffix of them.
+//   - A batch spanning stripes is appended stripe-by-stripe; a crash
+//     in the middle durably keeps some stripes' records and not
+//     others. Replay reports whatever records are individually intact
+//     (partial-batch semantics) — batch atomicity is a property of the
+//     in-memory view, never of crash recovery. See PERSISTENCE.md.
+//   - After Sync returns nil, everything appended so far is durable.
+//   - After Close returns nil, everything is durable and the directory
+//     may be reopened.
 //
 // The storage.Store interface has no error returns, so append failures
-// (disk full, I/O errors) cannot surface per-write: the store records
-// the first such error, keeps serving memory, and reports it from Err,
-// Sync and Close. Callers that need hard durability guarantees check
-// Err (or Sync) after writing.
+// (disk full, I/O errors) cannot surface per-write: each stripe
+// records its first such error, keeps serving memory, and reports it
+// from Err, Sync and Close. Callers that need hard durability
+// guarantees check Err (or Sync) after writing.
 type Store struct {
-	dir  string
-	opts Options
-	mem  storage.Store
+	dir     string
+	opts    Options
+	mem     *storage.Sharded
+	stripes []*stripe
 
-	// mu serializes appends, rotation and close, and orders log appends
-	// identically to memory inserts (replay correctness depends on the
-	// log being a linearization of the memory writes).
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	seq     uint64
-	minSeq  uint64 // lowest segment still on disk
-	garbage int
-	err     error // first append/sync failure, sticky
-	closed  bool
+	migrated   bool // this Open migrated a legacy single-log layout
+	legacyTorn bool // the legacy log ended in a torn record
 
-	// compactErr is the latest background-compaction failure, kept
-	// separate from err: a failed snapshot rewrite leaves the append
-	// path fully functional (the log just keeps growing), so it must
-	// not fail-stop appends. Cleared by the next successful Compact.
-	compactErr error // under mu
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
 
-	compactMu   sync.Mutex // serializes Compact with itself
-	compactions uint64     // under mu
-	tornTail    bool
-	closeOnce   sync.Once
-
-	kick chan struct{} // nudges the compactor; buffered, size 1
-	done chan struct{}
-	wg   sync.WaitGroup
-
-	buf []byte // append scratch, under mu
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
 // Open creates or recovers a WAL store in dir. Existing state is
-// replayed into memory: the snapshot first (if present), then every
-// segment in sequence order. A torn final record in the last segment is
-// truncated away; damage anywhere else returns ErrCorrupt.
+// replayed into memory stripe by stripe: each stripe's snapshot first
+// (if present), then its segments in sequence order. A torn final
+// record in a stripe's last segment is truncated away; damage anywhere
+// else returns ErrCorrupt. A directory laid out by the pre-stripe
+// format (a single root log) is migrated to opts.Shards stripes before
+// recovery, preserving record contents exactly. A directory whose
+// MANIFEST pins a different stripe count than opts.Shards is refused
+// with ErrStripeMismatch — nothing is modified in that case.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.CompactMinGarbage == 0 {
 		opts.CompactMinGarbage = defaultCompactMinGarbage
@@ -133,201 +152,208 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	var mem storage.Store
-	if opts.Shards > 1 {
-		mem = storage.NewShardedStore(opts.Shards)
-	} else {
-		mem = storage.NewMemStore()
-	}
-	s := &Store{
-		dir:  dir,
-		opts: opts,
-		mem:  mem,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
-	}
-	if err := s.recover(); err != nil {
+
+	manifestStripes, hasManifest, err := Manifest(dir)
+	if err != nil {
 		return nil, err
 	}
+	stripes := opts.Shards
+	if stripes < 1 {
+		stripes = 1
+		if opts.Shards == 0 && hasManifest {
+			// "No opinion": adopt the directory's pinned count, so
+			// embedders that never set Shards reopen any dir cleanly.
+			stripes = manifestStripes
+		}
+	}
+	legacySeqs, legacySnap, err := legacyLayout(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	migrated, legacyTorn := false, false
+	switch {
+	case hasManifest:
+		if manifestStripes != stripes {
+			return nil, fmt.Errorf("%w: data dir %s was laid out with %d stripes, got Shards=%d; reopen with Shards=%d (or 0 to adopt) or restripe offline (PERSISTENCE.md)",
+				ErrStripeMismatch, dir, manifestStripes, opts.Shards, manifestStripes)
+		}
+		// Legacy files alongside a MANIFEST are leftovers of a crash
+		// between migration commit and cleanup; every record in them is
+		// already in the stripe snapshots.
+		if err := removeLegacy(dir, legacySeqs, legacySnap); err != nil {
+			return nil, err
+		}
+	case len(legacySeqs) > 0 || legacySnap:
+		legacyTorn, err = migrateLegacy(dir, stripes, legacySeqs, legacySnap)
+		if err != nil {
+			return nil, err
+		}
+		migrated = true
+	default:
+		// A truly fresh directory. Stripe directories without a
+		// MANIFEST mean the manifest was lost or deleted: refusing is
+		// the only safe move, because laying a new MANIFEST with a
+		// different count over existing stripes would mis-route
+		// compaction and silently drop records from disk.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		for _, e := range entries {
+			var i int
+			if _, serr := fmt.Sscanf(e.Name(), "stripe-%d", &i); serr == nil && e.IsDir() {
+				return nil, fmt.Errorf("wal: %s has stripe directories but no MANIFEST; restore the MANIFEST (two lines: %q, %q) or recover from backup — see PERSISTENCE.md",
+					dir, fmt.Sprintf("panda-wal-manifest v%d", manifestVersion), "stripes <N>")
+			}
+		}
+		if err := writeManifest(dir, stripes); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+
+	s := &Store{
+		dir:        dir,
+		opts:       opts,
+		mem:        storage.NewSharded(stripes),
+		stripes:    make([]*stripe, stripes),
+		migrated:   migrated,
+		legacyTorn: legacyTorn,
+		done:       make(chan struct{}),
+	}
+	for i := range s.stripes {
+		st := &stripe{
+			idx:   i,
+			dir:   filepath.Join(dir, stripeDirName(i)),
+			store: s,
+			kick:  make(chan struct{}, 1),
+		}
+		if err := st.recover(); err != nil {
+			// Release the segments the earlier stripes already opened.
+			for _, prev := range s.stripes {
+				if prev != nil && prev.f != nil {
+					prev.f.Close()
+				}
+			}
+			return nil, err
+		}
+		s.stripes[i] = st
+	}
 	if opts.CompactMinGarbage > 0 {
-		s.wg.Add(1)
-		go s.compactLoop()
+		for _, st := range s.stripes {
+			s.wg.Add(1)
+			go s.compactLoop(st)
+		}
 	}
 	return s, nil
 }
 
-// recover replays snapshot + segments into memory and opens the last
-// segment for appending (creating segment 1 in a fresh directory).
-func (s *Store) recover() error {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	var seqs []uint64
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".tmp") {
-			// Leftover of a compaction that crashed before rename;
-			// never referenced, safe to discard.
-			_ = os.Remove(filepath.Join(s.dir, e.Name()))
-			continue
-		}
-		if seq, ok := parseSegmentName(e.Name()); ok {
-			seqs = append(seqs, seq)
-		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-
-	snapPath := filepath.Join(s.dir, snapshotName)
-	if _, err := os.Stat(snapPath); err == nil {
-		if _, err := replayFile(snapPath, func(rec storage.Record) { s.mem.Insert(rec) }); err != nil {
-			if err == errTorn {
-				return fmt.Errorf("%w: snapshot %s", ErrCorrupt, snapPath)
-			}
-			return fmt.Errorf("wal: replaying snapshot: %w", err)
-		}
-	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("wal: %w", err)
-	}
-
-	replayInsert := func(rec storage.Record) {
-		if !s.mem.Insert(rec) {
-			s.garbage++ // superseded an earlier log entry
-		}
-	}
-	for i, seq := range seqs {
-		path := filepath.Join(s.dir, segmentName(seq))
-		validEnd, err := replayFile(path, replayInsert)
-		switch {
-		case err == nil:
-		case err == errTorn && i == len(seqs)-1:
-			// Torn tail of a crashed append: keep everything before it,
-			// truncate the rest so appends resume from a clean frame
-			// boundary. A zero-length or headerless file (crash between
-			// create and header write) truncates to empty and the
-			// header is rewritten below.
-			if err := os.Truncate(path, validEnd); err != nil {
-				return fmt.Errorf("wal: truncating torn tail: %w", err)
-			}
-			s.tornTail = true
-		case err == errTorn:
-			return fmt.Errorf("%w: segment %s", ErrCorrupt, path)
-		default:
-			return fmt.Errorf("wal: replaying %s: %w", path, err)
-		}
-	}
-
-	s.seq, s.minSeq = 1, 1
-	if n := len(seqs); n > 0 {
-		s.seq, s.minSeq = seqs[n-1], seqs[0]
-	}
-	return s.openSegmentLocked(s.seq)
+// stripeFor routes a user to their stripe — the same placement the
+// memory shards use, by construction.
+func (s *Store) stripeFor(user int) *stripe {
+	return s.stripes[storage.ShardFor(user, len(s.stripes))]
 }
 
-// openSegmentLocked opens segment seq for appending, writing the file
-// header if the file is new (or was truncated to empty).
-func (s *Store) openSegmentLocked(seq uint64) error {
-	path := filepath.Join(s.dir, segmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return fmt.Errorf("wal: %w", err)
-	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	if st.Size() == 0 {
-		if _, err := w.Write(fileHeader()); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: %w", err)
-		}
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: %w", err)
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: %w", err)
-		}
-	}
-	s.f, s.w = f, w
-	return nil
-}
-
-// appendLocked frames recs into the active segment and flushes per the
-// sync policy. Failures are sticky: the first one is kept and every
-// later append degrades to memory-only (reported by Err/Sync/Close).
-func (s *Store) appendLocked(recs ...storage.Record) {
-	if s.err != nil || s.closed {
-		return
-	}
-	s.buf = s.buf[:0]
-	for _, rec := range recs {
-		s.buf = appendFrame(s.buf, rec)
-	}
-	if _, err := s.w.Write(s.buf); err != nil {
-		s.err = fmt.Errorf("wal: append: %w", err)
-		return
-	}
-	if err := s.w.Flush(); err != nil {
-		s.err = fmt.Errorf("wal: append: %w", err)
-		return
-	}
-	if s.opts.Sync == SyncAlways {
-		if err := s.f.Sync(); err != nil {
-			s.err = fmt.Errorf("wal: fsync: %w", err)
-		}
-	}
-}
-
-// maybeKickCompactorLocked nudges the background compactor when the
-// garbage thresholds are crossed.
-func (s *Store) maybeKickCompactorLocked() {
-	if s.opts.CompactMinGarbage <= 0 || s.garbage < s.opts.CompactMinGarbage {
-		return
-	}
-	total := s.garbage + s.mem.Len()
-	if float64(s.garbage) < s.opts.CompactGarbageFraction*float64(total) {
-		return
-	}
-	select {
-	case s.kick <- struct{}{}:
-	default:
-	}
-}
-
-// Insert appends the record to the log, then stores it in memory. It
+// Insert appends the record to its stripe's log, then stores it in
+// memory. Under SyncAlways it returns only after the stripe is fsynced
+// (sharing the fsync with concurrent writers on the same stripe). It
 // implements storage.Store.
 func (s *Store) Insert(rec storage.Record) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.appendLocked(rec)
+	st := s.stripeFor(rec.User)
+	st.mu.Lock()
+	n := st.appendLocked(rec)
 	added := s.mem.Insert(rec)
 	if !added {
-		s.garbage++
+		st.garbage++
 	}
-	s.maybeKickCompactorLocked()
+	st.maybeKickLocked()
+	st.mu.Unlock()
+	if s.opts.Sync == SyncAlways {
+		st.syncTo(n)
+	}
 	return added
 }
 
-// InsertBatch appends the whole batch as one flush (and one fsync under
-// SyncAlways), then stores it in memory atomically.
+// InsertBatch appends the batch to every involved stripe's log (one
+// flush per stripe), then stores it in memory atomically: all involved
+// stripe mutexes are held, in index order, across the appends and the
+// grouped memory insert, so a concurrent Scan sees the whole batch or
+// none of it. Under SyncAlways it fsyncs the involved stripes in
+// parallel before returning; batches confined to different stripes
+// never contend at all. Note that crash recovery is per-record, not
+// per-batch: see the partial-batch semantics on Store.
 func (s *Store) InsertBatch(recs []storage.Record) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.appendLocked(recs...)
-	added := s.mem.InsertBatch(recs)
-	s.garbage += len(recs) - added
-	s.maybeKickCompactorLocked()
+	n := len(s.stripes)
+	groups := make([][]storage.Record, n)
+	if n == 1 {
+		groups[0] = recs
+	} else {
+		for _, rec := range recs {
+			i := storage.ShardFor(rec.User, n)
+			groups[i] = append(groups[i], rec)
+		}
+	}
+	positions := make([]uint64, n)
+	for i, g := range groups {
+		if len(g) > 0 {
+			st := s.stripes[i]
+			st.mu.Lock()
+			positions[i] = st.appendLocked(g...)
+		}
+	}
+	addedPer := s.mem.InsertGrouped(groups)
+	added := 0
+	for i, g := range groups {
+		if len(g) > 0 {
+			st := s.stripes[i]
+			st.garbage += len(g) - addedPer[i]
+			added += addedPer[i]
+			st.maybeKickLocked()
+			st.mu.Unlock()
+		}
+	}
+	if s.opts.Sync == SyncAlways {
+		s.syncStripes(groups, positions)
+	}
 	return added
 }
 
+// syncStripes makes the batch durable: one group-commit fsync per
+// involved stripe, issued in parallel when the batch spans more than
+// one stripe.
+func (s *Store) syncStripes(groups [][]storage.Record, positions []uint64) {
+	first := -1
+	count := 0
+	for i, g := range groups {
+		if len(g) > 0 {
+			if first < 0 {
+				first = i
+			}
+			count++
+		}
+	}
+	if count == 1 {
+		s.stripes[first].syncTo(positions[first])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(st *stripe, n uint64) {
+			defer wg.Done()
+			st.syncTo(n)
+		}(s.stripes[i], positions[i])
+	}
+	wg.Wait()
+}
+
 // Len reports the stored record count; reads are served from the
-// hydrated in-memory store, never the log.
+// hydrated in-memory store, never the logs.
 func (s *Store) Len() int { return s.mem.Len() }
 
 // MaxT reports the largest stored timestep (-1 if empty), from memory.
@@ -350,11 +376,13 @@ func (s *Store) Users() []int { return s.mem.Users() }
 func (s *Store) At(t int) []storage.Record { return s.mem.At(t) }
 
 // Scan visits every record in a consistent point-in-time view, from
-// memory.
+// memory. The view is consistent across stripes: a concurrent
+// cross-stripe InsertBatch is never half-visible, because the memory
+// apply locks every involved shard before inserting anything.
 func (s *Store) Scan(fn func(storage.Record) bool) { s.mem.Scan(fn) }
 
 // ScanRange visits records with t0 <= T <= t1 in ascending T, from
-// memory.
+// memory, with the same cross-stripe consistency as Scan.
 func (s *Store) ScanRange(t0, t1 int, fn func(storage.Record) bool) {
 	s.mem.ScanRange(t0, t1, fn)
 }
@@ -370,116 +398,157 @@ func (s *Store) Gen(t int) uint64 { return s.mem.Gen(t) }
 // the restart semantics.
 func (s *Store) Epoch() uint64 { return s.mem.Epoch() }
 
-// Err returns the first append or sync failure, if any. Once non-nil
-// the log has stopped growing and only memory is being updated —
-// durability is lost, and callers that require it should fail-stop
-// (cmd/panda-server shuts down when this trips). Background-compaction
-// failures are reported separately (Stats.CompactErr): they leave the
-// append path intact.
+// Err returns the first append or sync failure of any stripe, if any.
+// Once non-nil that stripe's log has stopped growing and only memory
+// is being updated — durability is lost for its shard of users, and
+// callers that require durability should fail-stop (cmd/panda-server
+// shuts down when this trips). Background-compaction failures are
+// reported separately (Stats.CompactErr): they leave the append path
+// intact.
 func (s *Store) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		err := st.err
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Sync flushes buffered appends to stable storage (a barrier for
-// SyncBuffered mode) and reports any sticky append failure.
+// Sync flushes buffered appends on every stripe to stable storage (a
+// barrier for SyncBuffered mode: after a nil return, everything
+// appended before the call survives power failure) and reports the
+// first sticky append failure.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
+	var first error
+	for _, st := range s.stripes {
+		if err := st.sync(); err != nil && first == nil {
+			first = err
+		}
 	}
-	if s.closed {
-		return fmt.Errorf("wal: store closed")
-	}
-	if err := s.w.Flush(); err != nil {
-		s.err = fmt.Errorf("wal: flush: %w", err)
-		return s.err
-	}
-	if err := s.f.Sync(); err != nil {
-		s.err = fmt.Errorf("wal: fsync: %w", err)
-	}
-	return s.err
+	return first
 }
 
-// Stats returns a point-in-time observation of the log.
+// Stats returns a point-in-time observation of the log, aggregated
+// across stripes. Fields from different stripes are sampled one stripe
+// at a time (no global pause), so counters may be skewed by concurrent
+// writes — fine for monitoring, not a consistency point.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
+	out := Stats{
 		LiveRecords: s.mem.Len(),
-		Garbage:     s.garbage,
-		ActiveSeq:   s.seq,
-		Compactions: s.compactions,
-		TornTail:    s.tornTail,
-		CompactErr:  s.compactErr,
+		Stripes:     len(s.stripes),
+		TornTail:    s.legacyTorn,
+		Migrated:    s.migrated,
 	}
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		out.Garbage += st.garbage
+		if st.seq > out.ActiveSeq {
+			out.ActiveSeq = st.seq
+		}
+		out.Compactions += st.compactions
+		out.TornTail = out.TornTail || st.tornTail
+		if out.CompactErr == nil {
+			out.CompactErr = st.compactErr
+		}
+		st.mu.Unlock()
+	}
+	return out
 }
 
-// Close stops the compactor, flushes and fsyncs the active segment, and
-// closes it. The store must not be used afterwards.
+// Close stops the compactors, then flushes, fsyncs and closes every
+// stripe's active segment. After a nil return the full store contents
+// are durable and the directory may be reopened. The store must not be
+// used afterwards; a second Close returns the first one's result.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
 	if s.closed {
-		if s.err != nil {
-			return s.err
-		}
-		return s.compactErr
+		return s.closeErr
 	}
 	s.closed = true
-	if flushErr := s.w.Flush(); flushErr != nil && s.err == nil {
-		s.err = fmt.Errorf("wal: flush: %w", flushErr)
+	var firstErr, firstCompactErr error
+	for _, st := range s.stripes {
+		// fsyncMu before mu, like rotation: an in-flight group-commit
+		// fsync must finish before its file is closed underneath it.
+		st.fsyncMu.Lock()
+		st.mu.Lock()
+		st.closeLocked()
+		if st.err != nil && firstErr == nil {
+			firstErr = st.err
+		}
+		if st.compactErr != nil && firstCompactErr == nil {
+			firstCompactErr = st.compactErr
+		}
+		st.mu.Unlock()
+		st.fsyncMu.Unlock()
 	}
-	if syncErr := s.f.Sync(); syncErr != nil && s.err == nil {
-		s.err = fmt.Errorf("wal: fsync: %w", syncErr)
+	s.closeErr = firstErr
+	if s.closeErr == nil {
+		// Surface an unrecovered compaction failure at shutdown so it
+		// is not lost entirely; the data itself is safe (that stripe's
+		// log kept growing).
+		s.closeErr = firstCompactErr
 	}
-	if closeErr := s.f.Close(); closeErr != nil && s.err == nil {
-		s.err = fmt.Errorf("wal: close: %w", closeErr)
-	}
-	if s.err != nil {
-		return s.err
-	}
-	// Surface an unrecovered compaction failure at shutdown so it is
-	// not lost entirely; the data itself is safe (the log kept growing).
-	return s.compactErr
+	return s.closeErr
 }
 
-// compactLoop runs compactions when kicked, until Close. A failed
-// compaction is recorded as compactErr (visible in Stats and, if never
-// recovered, from Close) but does not stop the append path: the log
-// keeps growing and the next garbage accumulation retries.
-func (s *Store) compactLoop() {
+// compactLoop runs one stripe's compactions when kicked, until Close.
+// A failed compaction is recorded as the stripe's compactErr (visible
+// in Stats and, if never recovered, from Close) but does not stop the
+// append path: the log keeps growing and the next garbage accumulation
+// retries.
+func (s *Store) compactLoop(st *stripe) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.done:
 			return
-		case <-s.kick:
+		case <-st.kick:
 		}
-		if err := s.Compact(); err != nil {
-			s.mu.Lock()
-			s.compactErr = err
-			s.mu.Unlock()
+		if err := s.compactStripe(st); err != nil {
+			st.mu.Lock()
+			st.compactErr = err
+			st.mu.Unlock()
 		}
 	}
 }
 
-// Compact rewrites the log as snapshot+tail: it rotates appends onto a
-// fresh segment, writes every live record to a new snapshot (atomically
-// replacing the old one), and deletes the now-redundant older segments.
-// Appends are blocked only for the rotation, not for the snapshot write.
+// Compact rewrites every stripe's log as snapshot+tail (see
+// compactStripe) and returns the first failure. Stripes compact
+// independently; a failure in one does not stop the others.
+func (s *Store) Compact() error {
+	var first error
+	for _, st := range s.stripes {
+		if err := s.compactStripe(st); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// compactStripe rewrites one stripe's log as snapshot+tail: it rotates
+// the stripe's appends onto a fresh segment, writes every live record
+// of the stripe's memory shard to a new snapshot (atomically replacing
+// the old one), and deletes the now-redundant older segments. Appends
+// on this stripe are blocked only for the rotation, not for the
+// snapshot write; other stripes are never touched.
 //
 // Correctness of the rotate-then-scan order: the snapshot is a scan of
-// memory taken *after* rotation, so it equals (state at rotation) plus
-// some prefix of the new segment's appends. Replay applies the snapshot
+// the stripe's memory shard taken *after* rotation, so it equals
+// (shard state at rotation) plus some prefix of the new segment's
+// appends — the shard and the stripe hold exactly the same keys
+// because both route by storage.ShardFor. Replay applies the snapshot
 // first and then the new segment in full, and since the final state of
 // a (user, t) key is decided by its last log entry, replaying that
-// prefix over the snapshot is idempotent.
+// prefix over the snapshot is idempotent. The scan holds only the
+// shard's read lock, so a snapshot of one stripe runs concurrently
+// with appends to every stripe — including its own.
 //
 // Old segments are deleted strictly oldest-first, so a crash mid-
 // deletion leaves a contiguous *newest* suffix of them, and that is
@@ -490,52 +559,63 @@ func (s *Store) compactLoop() {
 // snapshot's value stands. Deleting newest-first would break exactly
 // this — a surviving *older* segment could overwrite the snapshot's
 // newer value on replay.
-func (s *Store) Compact() error {
-	s.compactMu.Lock()
-	defer s.compactMu.Unlock()
+func (s *Store) compactStripe(st *stripe) error {
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
 
-	// Rotate: seal the active segment and swing appends to the next one.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	// Rotate: seal the active segment and swing appends to the next
+	// one. fsyncMu is held across the rotation so a group-commit fsync
+	// in flight on the old file completes first, and so the rotation's
+	// own fsync can mark everything flushed so far as synced.
+	st.fsyncMu.Lock()
+	st.mu.Lock()
+	unlock := func() { st.mu.Unlock(); st.fsyncMu.Unlock() }
+	if st.closed {
+		unlock()
 		return fmt.Errorf("wal: store closed")
 	}
-	if s.err != nil {
-		err := s.err
-		s.mu.Unlock()
+	if st.err != nil {
+		err := st.err
+		unlock()
 		return err
 	}
-	if err := s.w.Flush(); err != nil {
-		s.err = fmt.Errorf("wal: flush: %w", err)
-		s.mu.Unlock()
-		return s.err
+	if err := st.w.Flush(); err != nil {
+		st.err = fmt.Errorf("wal: flush: %w", err)
+		err = st.err
+		unlock()
+		return err
 	}
-	if err := s.f.Sync(); err != nil {
-		s.err = fmt.Errorf("wal: fsync: %w", err)
-		s.mu.Unlock()
-		return s.err
+	if err := st.f.Sync(); err != nil {
+		st.err = fmt.Errorf("wal: fsync: %w", err)
+		err = st.err
+		unlock()
+		return err
 	}
-	if err := s.f.Close(); err != nil {
-		s.err = fmt.Errorf("wal: close: %w", err)
-		s.mu.Unlock()
-		return s.err
+	if err := st.f.Close(); err != nil {
+		st.err = fmt.Errorf("wal: close: %w", err)
+		err = st.err
+		unlock()
+		return err
 	}
-	oldSeq := s.seq
-	minSeq := s.minSeq
-	s.seq++
-	if err := s.openSegmentLocked(s.seq); err != nil {
-		s.err = err
-		s.mu.Unlock()
+	oldSeq := st.seq
+	minSeq := st.minSeq
+	st.seq++
+	if err := st.openSegmentLocked(st.seq); err != nil {
+		st.err = err
+		unlock()
 		return err
 	}
 	// Everything the snapshot will absorb — including all garbage so
-	// far — predates the new segment.
-	s.garbage = 0
-	s.mu.Unlock()
+	// far — predates the new segment; and everything appended so far
+	// just hit stable storage.
+	st.garbage = 0
+	st.synced = st.appends
+	unlock()
 
-	// Snapshot: scan memory (consistent view, concurrent with new
-	// appends) into a temp file, then atomically replace.
-	tmpPath := filepath.Join(s.dir, snapshotName+".tmp")
+	// Snapshot: scan the stripe's memory shard (consistent view,
+	// concurrent with new appends) into a temp file, then atomically
+	// replace.
+	tmpPath := filepath.Join(st.dir, snapshotName+".tmp")
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
@@ -547,7 +627,7 @@ func (s *Store) Compact() error {
 	}
 	var frame []byte
 	var writeErr error
-	s.mem.Scan(func(rec storage.Record) bool {
+	s.mem.ScanShard(st.idx, func(rec storage.Record) bool {
 		frame = appendFrame(frame[:0], rec)
 		if _, err := w.Write(frame); err != nil {
 			writeErr = err
@@ -568,28 +648,28 @@ func (s *Store) Compact() error {
 		_ = os.Remove(tmpPath)
 		return fmt.Errorf("wal: compact: %w", writeErr)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := os.Rename(tmpPath, filepath.Join(st.dir, snapshotName)); err != nil {
 		_ = os.Remove(tmpPath)
 		return fmt.Errorf("wal: compact: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(st.dir); err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 
 	// Drop segments the snapshot superseded — oldest first, so a crash
 	// partway through can only leave the newest suffix (see above).
 	for seq := minSeq; seq <= oldSeq; seq++ {
-		path := filepath.Join(s.dir, segmentName(seq))
+		path := filepath.Join(st.dir, segmentName(seq))
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("wal: compact: %w", err)
 		}
 	}
 
-	s.mu.Lock()
-	s.minSeq = oldSeq + 1
-	s.compactions++
-	s.compactErr = nil
-	s.mu.Unlock()
+	st.mu.Lock()
+	st.minSeq = oldSeq + 1
+	st.compactions++
+	st.compactErr = nil
+	st.mu.Unlock()
 	return nil
 }
 

@@ -16,6 +16,11 @@ import (
 // compaction explicitly.
 var noAutoCompact = Options{CompactMinGarbage: -1}
 
+// stripePath locates a file inside stripe i of a store directory.
+func stripePath(dir string, i int, name string) string {
+	return filepath.Join(dir, stripeDirName(i), name)
+}
+
 func rec(user, t, cell int) storage.Record {
 	return storage.Record{
 		User: user, T: t, Cell: cell,
@@ -104,61 +109,86 @@ func TestInsertBatchDurable(t *testing.T) {
 	}
 }
 
-// TestTornTailEveryOffset is the crash-recovery core: a log truncated at
-// every possible byte offset must open successfully, recover exactly the
-// fully-written records before the cut, and drop the torn tail.
+// TestTornTailEveryOffset is the crash-recovery core, per stripe: a
+// stripe's log truncated at every possible byte offset must open
+// successfully, recover exactly the fully-written records before the
+// cut (plus everything in the other, intact stripes), and drop the
+// torn tail. Run for every stripe of a 2-stripe store so the recovery
+// logic is proven independent of which stripe the crash hit.
 func TestTornTailEveryOffset(t *testing.T) {
-	const n = 12
+	const n = 12 // records per stripe
+	const stripes = 2
+	opts := Options{Shards: stripes, CompactMinGarbage: -1}
 	srcDir := t.TempDir()
-	s := mustOpen(t, srcDir, noAutoCompact)
+	s := mustOpen(t, srcDir, opts)
 	for i := 0; i < n; i++ {
-		s.Insert(rec(i, i, i))
+		for st := 0; st < stripes; st++ {
+			s.Insert(rec(st+stripes*i, i, i)) // user st+2i routes to stripe st
+		}
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(srcDir, segmentName(1))
-	full, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := headerSize + n*frameSize; len(full) != want {
-		t.Fatalf("segment is %d bytes, want %d", len(full), want)
-	}
-
-	for cut := 0; cut <= len(full); cut++ {
-		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), full[:cut], 0o644); err != nil {
+	srcFiles := make([][]byte, stripes)
+	for st := 0; st < stripes; st++ {
+		full, err := os.ReadFile(stripePath(srcDir, st, segmentName(1)))
+		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := Open(dir, noAutoCompact)
-		if err != nil {
-			t.Fatalf("cut=%d: Open: %v", cut, err)
+		if want := headerSize + n*frameSize; len(full) != want {
+			t.Fatalf("stripe %d segment is %d bytes, want %d", st, len(full), want)
 		}
-		wantRecs := 0
-		if cut >= headerSize {
-			wantRecs = (cut - headerSize) / frameSize
+		srcFiles[st] = full
+	}
+
+	for cutStripe := 0; cutStripe < stripes; cutStripe++ {
+		full := srcFiles[cutStripe]
+		for cut := 0; cut <= len(full); cut++ {
+			dir := t.TempDir()
+			if err := writeManifest(dir, stripes); err != nil {
+				t.Fatal(err)
+			}
+			for st := 0; st < stripes; st++ {
+				if err := os.MkdirAll(filepath.Join(dir, stripeDirName(st)), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				body := srcFiles[st]
+				if st == cutStripe {
+					body = body[:cut]
+				}
+				if err := os.WriteFile(stripePath(dir, st, segmentName(1)), body, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			back, err := Open(dir, opts)
+			if err != nil {
+				t.Fatalf("stripe=%d cut=%d: Open: %v", cutStripe, cut, err)
+			}
+			wantRecs := 0
+			if cut >= headerSize {
+				wantRecs = (cut - headerSize) / frameSize
+			}
+			if back.Len() != wantRecs+n {
+				back.Close()
+				t.Fatalf("stripe=%d cut=%d: recovered %d records, want %d", cutStripe, cut, back.Len(), wantRecs+n)
+			}
+			torn := cut != len(full) && cut != headerSize+wantRecs*frameSize
+			// A cut exactly on a frame boundary is not torn; anywhere else is.
+			if got := back.Stats().TornTail; got != torn {
+				back.Close()
+				t.Fatalf("stripe=%d cut=%d: TornTail=%v, want %v", cutStripe, cut, got, torn)
+			}
+			// The truncated stripe must accept and persist new appends.
+			back.Insert(rec(cutStripe+100*stripes, 50, 1)) // routes to the cut stripe
+			if err := back.Close(); err != nil {
+				t.Fatalf("stripe=%d cut=%d: Close: %v", cutStripe, cut, err)
+			}
+			again := mustOpen(t, dir, opts)
+			if again.Len() != wantRecs+n+1 {
+				t.Fatalf("stripe=%d cut=%d: after re-append recovered %d, want %d", cutStripe, cut, again.Len(), wantRecs+n+1)
+			}
+			again.Close()
 		}
-		if back.Len() != wantRecs {
-			back.Close()
-			t.Fatalf("cut=%d: recovered %d records, want %d", cut, back.Len(), wantRecs)
-		}
-		torn := cut != len(full) && cut != headerSize+wantRecs*frameSize
-		// A cut exactly on a frame boundary is not torn; anywhere else is.
-		if got := back.Stats().TornTail; got != torn {
-			back.Close()
-			t.Fatalf("cut=%d: TornTail=%v, want %v", cut, got, torn)
-		}
-		// The truncated store must accept and persist new appends.
-		back.Insert(rec(100, 50, 1))
-		if err := back.Close(); err != nil {
-			t.Fatalf("cut=%d: Close: %v", cut, err)
-		}
-		again := mustOpen(t, dir, noAutoCompact)
-		if again.Len() != wantRecs+1 {
-			t.Fatalf("cut=%d: after re-append recovered %d, want %d", cut, again.Len(), wantRecs+1)
-		}
-		again.Close()
 	}
 }
 
@@ -175,7 +205,7 @@ func TestTornTailDropsSuffix(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(dir, segmentName(1))
+	seg := stripePath(dir, 0, segmentName(1))
 	b, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +242,7 @@ func TestCorruptSnapshotRejected(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	snap := filepath.Join(dir, snapshotName)
+	snap := stripePath(dir, 0, snapshotName)
 	b, err := os.ReadFile(snap)
 	if err != nil {
 		t.Fatal(err)
@@ -256,7 +286,7 @@ func TestCompactionShrinksAndPreserves(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); !os.IsNotExist(err) {
+	if _, err := os.Stat(stripePath(dir, 0, segmentName(1))); !os.IsNotExist(err) {
 		t.Fatalf("old segment survived compaction: %v", err)
 	}
 	back := mustOpen(t, dir, noAutoCompact)
@@ -338,7 +368,7 @@ func TestConcurrentInsertAndCompact(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	back := mustOpen(t, dir, noAutoCompact)
+	back := mustOpen(t, dir, Options{Shards: 4, CompactMinGarbage: -1})
 	defer back.Close()
 	got := collect(back)
 	if len(got) != len(want) {
@@ -375,12 +405,19 @@ func writeLogFile(t *testing.T, path string, recs ...storage.Record) {
 // that layout must be unreachable.)
 func TestCrashMidDeletionSuffixReplay(t *testing.T) {
 	dir := t.TempDir()
-	// Crash state: segment 1 (user 1's OLD value) already deleted,
-	// segment 2 survived, segment 3 was the active tail at crash time.
-	// The snapshot has the newest values of both users.
-	writeLogFile(t, filepath.Join(dir, snapshotName), rec(1, 0, 9), rec(2, 0, 20))
-	writeLogFile(t, filepath.Join(dir, segmentName(2)), rec(1, 0, 9)) // user 1 re-sent here
-	writeLogFile(t, filepath.Join(dir, segmentName(3)))               // fresh tail, no records yet
+	// Crash state, inside stripe 0 of a 1-stripe store: segment 1
+	// (user 1's OLD value) already deleted, segment 2 survived,
+	// segment 3 was the active tail at crash time. The snapshot has
+	// the newest values of both users.
+	if err := writeManifest(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, stripeDirName(0)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeLogFile(t, stripePath(dir, 0, snapshotName), rec(1, 0, 9), rec(2, 0, 20))
+	writeLogFile(t, stripePath(dir, 0, segmentName(2)), rec(1, 0, 9)) // user 1 re-sent here
+	writeLogFile(t, stripePath(dir, 0, segmentName(3)))               // fresh tail, no records yet
 	s := mustOpen(t, dir, noAutoCompact)
 	defer s.Close()
 	if got := s.UserRecords(1)[0].Cell; got != 9 {
@@ -402,7 +439,7 @@ func TestCrashMidDeletionSuffixReplay(t *testing.T) {
 func TestCompactFailureDoesNotStopAppends(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CompactMinGarbage: 20, CompactGarbageFraction: 0.1})
-	blocker := filepath.Join(dir, snapshotName+".tmp")
+	blocker := stripePath(dir, 0, snapshotName+".tmp")
 	if err := os.Mkdir(blocker, 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -489,16 +526,19 @@ func TestStoreInterface(t *testing.T) {
 func dirSize(t *testing.T, dir string) int64 {
 	t.Helper()
 	var total int64
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		info, err := e.Info()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
 		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	return total
 }

@@ -89,19 +89,30 @@ type Options struct {
 	WindowEpsilon float64
 	// StoreShards selects the number of independent lock shards for the
 	// released-location store (keyed by user), so concurrent ingestion
-	// scales with cores. 0 or 1 uses a single-lock store.
+	// scales with cores. 0 or 1 uses a single-lock store. With DataDir
+	// set it is also the number of WAL stripes — one append log per
+	// shard — and the value is pinned by the data directory's MANIFEST
+	// on first use: reopening the same directory with a different
+	// explicit StoreShards fails (wal.ErrStripeMismatch) rather than
+	// silently mis-sharding the logs, while leaving it 0 adopts the
+	// directory's existing count. See PERSISTENCE.md.
 	StoreShards int
 	// DataDir, when non-empty, makes the released-location store durable:
-	// records are written through an append-only WAL in this directory
-	// (created if absent) and replayed on the next NewSystem with the
-	// same directory, so the database survives restarts. Call Close when
-	// done with the system. Empty keeps the store memory-only.
+	// records are written through a striped append-only WAL in this
+	// directory (created if absent) and replayed on the next NewSystem
+	// with the same directory, so the database survives restarts. A
+	// directory written by the pre-stripe layout is migrated in place.
+	// Call Close when done with the system. Empty keeps the store
+	// memory-only.
 	DataDir string
-	// FsyncEveryWrite, with DataDir set, fsyncs the log after every
-	// insert so acknowledged reports survive power failure, at a large
-	// per-write cost (see API.md for measurements). Unset, appends are
-	// flushed to the OS per write and fsynced on compaction and Close —
-	// they survive a process crash but not a power cut.
+	// FsyncEveryWrite, with DataDir set, fsyncs the log before every
+	// insert returns so acknowledged reports survive power failure.
+	// Concurrent writers on one stripe share fsyncs (group commit) and
+	// different stripes fsync in parallel, but the per-write cost is
+	// still the device flush latency (see PERSISTENCE.md for measured
+	// numbers). Unset, appends are flushed to the OS per write and
+	// fsynced on compaction and Close — they survive a process crash
+	// but not a power cut.
 	FsyncEveryWrite bool
 	// AsyncIngest enables the early-acknowledgement mode of the HTTP
 	// API's POST /v2/reports: async batches are validated, queued and

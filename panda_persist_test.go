@@ -1,6 +1,8 @@
 package panda
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -56,6 +58,86 @@ func TestSystemDataDirRestart(t *testing.T) {
 		if err := back.Close(); err != nil {
 			t.Fatal(err)
 		}
+
+		// StoreShards left at zero adopts the directory's pinned
+		// stripe count instead of mis-matching it.
+		opts.StoreShards = 0
+		adopted, err := NewSystem(opts)
+		if err != nil {
+			t.Fatalf("fsync=%v: reopening with StoreShards=0: %v", fsync, err)
+		}
+		if got := adopted.Records(1); len(got) != len(want) {
+			t.Fatalf("fsync=%v: %d records via adopted reopen, want %d", fsync, len(got), len(want))
+		}
+		if err := adopted.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSystemLegacyDataDirMigration: a data directory from before the
+// striped WAL (a bare snapshot/segment set in the root, no MANIFEST)
+// opens through the facade via in-place migration, with identical
+// records. The legacy layout is manufactured by demoting a 1-stripe
+// directory: stripe files and pre-stripe files share one format, so
+// moving stripe-000's contents to the root and dropping the MANIFEST
+// reproduces a PR 3-era directory exactly.
+func TestSystemLegacyDataDirMigration(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 2, DataDir: dir, StoreShards: 1}
+	sys, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.NewUser(1, GEM, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.ReportBatch(0, []int{3, 4, 5, 13}); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.Records(1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Demote to the legacy layout.
+	stripeDir := filepath.Join(dir, "stripe-000")
+	entries, err := os.ReadDir(stripeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.Rename(filepath.Join(stripeDir, e.Name()), filepath.Join(dir, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(stripeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a different shard count: migration re-stripes the
+	// legacy files to the requested layout.
+	opts.StoreShards = 4
+	back, err := NewSystem(opts)
+	if err != nil {
+		t.Fatalf("reopening legacy dir: %v", err)
+	}
+	defer back.Close()
+	got := back.Records(1)
+	if len(got) != len(want) {
+		t.Fatalf("%d records after migration, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v after migration, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.dat")); err == nil {
+		t.Fatal("legacy snapshot still in the root after migration")
 	}
 }
 

@@ -1,7 +1,14 @@
 #!/usr/bin/env sh
-# check-docs.sh — fail if any internal/... package lacks a package
-# comment (a contiguous // block immediately above its `package` clause
-# in some non-test .go file; by convention it lives in doc.go).
+# check-docs.sh — two documentation gates:
+#
+#  1. every internal/... package has a package comment (a contiguous
+#     // block immediately above its `package` clause in some non-test
+#     .go file; by convention it lives in doc.go);
+#  2. every exported symbol of the storage packages (the crash-safety
+#     surface: internal/server/storage and internal/server/storage/wal)
+#     has a doc comment — exported funcs, types, and methods on
+#     exported receivers must state their contract, because callers of
+#     the durable layer reason from godoc, not from the source.
 #
 # Run from the repository root:  ./scripts/check-docs.sh
 set -eu
@@ -36,3 +43,41 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "doc check: every internal package has a package comment"
+
+# Gate 2: exported-symbol comments in the storage packages. A decl line
+# counts as documented when the line above it is a // comment. Checked:
+# top-level `func Name`, `type Name`, and `func (r *Recv) Name` where
+# the receiver type is exported; methods on unexported types are
+# internal plumbing and exempt.
+for dir in internal/server/storage internal/server/storage/wal; do
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        awk -v file="$f" '
+            /^func [A-Z]/ || /^type [A-Z]/ {
+                if (prev !~ /^\/\//) {
+                    printf "missing doc comment: %s: %s\n", file, $0
+                    bad = 1
+                }
+            }
+            /^func \(/ {
+                # method: func (r *Recv) Name(... — gate only exported
+                # Name on exported Recv.
+                recv = $3; sub(/^\*/, "", recv); sub(/\)$/, "", recv)
+                name = $4
+                if (recv ~ /^[A-Z]/ && name ~ /^[A-Z]/ && prev !~ /^\/\//) {
+                    printf "missing doc comment: %s: %s\n", file, $0
+                    bad = 1
+                }
+            }
+            { prev = $0 }
+            END { exit bad }
+        ' "$f" >&2 || fail=1
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc check failed: exported storage symbols need doc comments stating their (crash-safety) contract" >&2
+    exit 1
+fi
+echo "doc check: every exported storage symbol has a doc comment"
