@@ -2,15 +2,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/pglp/panda/internal/cluster"
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/server"
@@ -40,6 +43,13 @@ type loadConfig struct {
 	// latency. Combine with durable to measure async-over-WAL — the
 	// headline comparison against sync durable ingest.
 	async bool
+
+	// Cluster mode: run this many in-process panda-server nodes behind
+	// an in-process cluster router and drive the load through the
+	// router. 0 = single server. Composes with durable (one WAL per
+	// node) and async (per-node queues; the drain wait polls the
+	// router's merged /v2/ingest/stats).
+	cluster int
 }
 
 // latencyRecorder collects per-request latencies, concurrently.
@@ -87,7 +97,14 @@ func runLoad(cfg loadConfig) error {
 		stripes = 16
 	}
 	var walStore *wal.Store
-	if base == "" {
+	if base == "" && cfg.cluster > 0 {
+		clusterBase, cleanup, err := startLoadCluster(cfg, stripes)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		base = clusterBase
+	} else if base == "" {
 		grid := geo.MustGrid(32, 32, 1)
 		mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
 		if err != nil {
@@ -308,4 +325,105 @@ func runLoad(cfg loadConfig) error {
 		ep.lat.report(os.Stdout, ep.name, conc*per)
 	}
 	return nil
+}
+
+// startLoadCluster brings up cfg.cluster in-process panda-server nodes
+// behind an in-process cluster router and returns the router's base
+// URL. The ring gets 8x partition headroom over the node count with
+// round-robin ownership (partition p → node p mod N). cleanup tears the
+// fleet down in dependency order: router first, then each node's
+// frontend, queue drain, and store.
+func startLoadCluster(cfg loadConfig, stripes int) (base string, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+	grid := geo.MustGrid(32, 32, 1)
+	partitions := cfg.cluster * 8
+	walSync := wal.SyncBuffered
+	if cfg.fsync {
+		walSync = wal.SyncAlways
+	}
+	baseDir := cfg.dir
+	if cfg.durable && baseDir == "" {
+		baseDir, err = os.MkdirTemp("", "panda-load-cluster-*")
+		if err != nil {
+			return "", cleanup, err
+		}
+		dir := baseDir
+		closers = append(closers, func() { os.RemoveAll(dir) })
+	}
+	nodes := make([]cluster.Node, cfg.cluster)
+	for i := 0; i < cfg.cluster; i++ {
+		mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+		if err != nil {
+			return "", cleanup, err
+		}
+		var db *server.DB
+		if cfg.durable {
+			st, err := wal.Open(filepath.Join(baseDir, fmt.Sprintf("node%d", i)),
+				wal.Options{Shards: stripes, Sync: walSync})
+			if err != nil {
+				return "", cleanup, err
+			}
+			closers = append(closers, func() { st.Close() })
+			if db, err = server.NewDBOn(grid, st); err != nil {
+				return "", cleanup, err
+			}
+		} else {
+			db = server.NewShardedDB(grid, stripes)
+		}
+		srv, err := server.NewServerOpts(db, mgr, server.Options{AsyncIngest: cfg.async})
+		if err != nil {
+			return "", cleanup, err
+		}
+		if cfg.async {
+			// Drain acknowledged batches before the node's store closes.
+			closers = append(closers, func() { srv.DrainIngest(context.Background()) })
+		}
+		ts := httptest.NewServer(srv.Handler())
+		closers = append(closers, ts.Close)
+		var owned []int
+		for p := i; p < partitions; p += cfg.cluster {
+			owned = append(owned, p)
+		}
+		nodes[i] = cluster.Node{Name: fmt.Sprintf("node%d", i), URL: ts.URL, Partitions: owned}
+	}
+	// Round-trip the ring through its own parser so the load harness
+	// exercises the same validation path as a ring file.
+	ringJSON, err := json.Marshal(cluster.Ring{Partitions: partitions, Nodes: nodes})
+	if err != nil {
+		return "", cleanup, err
+	}
+	ring, err := cluster.ParseRing(ringJSON)
+	if err != nil {
+		return "", cleanup, err
+	}
+	rt, err := cluster.New(cluster.Config{Ring: ring, ProbeInterval: time.Second})
+	if err != nil {
+		return "", cleanup, err
+	}
+	rtCtx, rtCancel := context.WithCancel(context.Background())
+	rt.Start(rtCtx)
+	closers = append(closers, func() { rtCancel(); rt.Stop() })
+	rts := httptest.NewServer(rt.Handler())
+	closers = append(closers, rts.Close)
+	mode := "sync ingest"
+	if cfg.async {
+		mode = "async ingest"
+	}
+	durability := "memory"
+	if cfg.durable {
+		durability = fmt.Sprintf("wal under %s (%d stripes each)", baseDir, stripes)
+	}
+	fmt.Printf("load: cluster: %d in-process nodes behind router at %s (%d partitions, %s, %s)\n",
+		cfg.cluster, rts.URL, partitions, durability, mode)
+	return rts.URL, cleanup, nil
 }

@@ -37,6 +37,14 @@
 // parallel-durability scaling curve of PERSISTENCE.md:
 //
 //	panda-bench -load -ldurable -lfsync -lstripes 1,4,8
+//
+// -lcluster N runs the same load against N in-process panda-server
+// nodes behind an in-process cluster router — the scale-out comparison
+// of CLUSTER.md. Composes with -ldurable (one WAL per node) and -lasync
+// (per-node queues, merged stats via the router):
+//
+//	panda-bench -load -lcluster 2
+//	panda-bench -load -lcluster 4 -ldurable -lasync
 package main
 
 import (
@@ -68,6 +76,7 @@ func main() {
 		lFsync   = flag.Bool("lfsync", false, "load: with -ldurable, fsync every append instead of buffering")
 		lAsync   = flag.Bool("lasync", false, "load: report via async ingestion (202 early acks, background drain)")
 		lStripes = flag.String("lstripes", "16", "load: WAL stripes / store shards; a comma list (e.g. 1,4,8) sweeps the ingest run per count")
+		lCluster = flag.Int("lcluster", 0, "load: run N in-process nodes behind an in-process cluster router (0 = single server)")
 	)
 	flag.Parse()
 
@@ -83,10 +92,18 @@ func main() {
 		}
 		cfg := loadConfig{
 			url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries,
-			durable: *lDurable, dir: *lDir, fsync: *lFsync, async: *lAsync,
+			durable: *lDurable, dir: *lDir, fsync: *lFsync, async: *lAsync, cluster: *lCluster,
 		}
 		if cfg.users < 1 || cfg.steps < 1 || cfg.batch < 1 || cfg.queries < 1 {
 			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")
+			os.Exit(2)
+		}
+		if cfg.cluster < 0 {
+			fmt.Fprintln(os.Stderr, "panda-bench: -lcluster must be >= 0")
+			os.Exit(2)
+		}
+		if cfg.cluster > 0 && cfg.url != "" {
+			fmt.Fprintln(os.Stderr, "panda-bench: -lcluster builds its own in-process nodes and router (drop -url)")
 			os.Exit(2)
 		}
 		if len(stripeRuns) > 1 && (!cfg.durable || cfg.url != "" || cfg.dir != "") {

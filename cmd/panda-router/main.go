@@ -1,0 +1,120 @@
+// Command panda-router fronts a static ring of panda-server nodes and
+// serves the same /v2 surface a single server does, so clients scale
+// from one node to N by changing only the URL they point at.
+//
+// Usage:
+//
+//	panda-router -addr :8090 -ring ring.json
+//	panda-router -ring ring.json -probe-interval 1s -request-timeout 5s
+//
+// The ring file maps user-hash partitions to nodes (see CLUSTER.md for
+// the format and the operator's guide). Per-user operations — reports,
+// records, policy, health codes — are proxied to the node owning the
+// user's partition; cross-user analytics — density, series, exposure,
+// census — are scattered to every node and the per-node partial
+// aggregates merged as sums; POST /v2/infected is broadcast so every
+// node re-plans the policies of the users it owns.
+//
+// A background loop probes each node's /v2/healthz every
+// -probe-interval. Requests routed toward a node that is down — or that
+// fails mid-request — answer 503 node_unavailable naming the node, with
+// the probe interval as the Retry-After hint; scatter queries fail
+// whole rather than return a silently short count. GET /v2/healthz on
+// the router reports the fleet: per-node status plus the composite
+// cluster epoch.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pglp/panda/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h: usage already printed, clean exit
+		}
+		fmt.Fprintf(os.Stderr, "panda-router: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the router until ctx is cancelled, then shuts
+// down gracefully. ready, when non-nil, is called with the bound listen
+// address once the router is accepting connections (tests use it to
+// learn the port behind ":0").
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("panda-router", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address")
+		ringPath = fs.String("ring", "", "ring config file (required; see CLUSTER.md)")
+		probe    = fs.Duration("probe-interval", cluster.DefaultProbeInterval, "node health-probe period (also the Retry-After hint on node_unavailable)")
+		timeout  = fs.Duration("request-timeout", cluster.DefaultRequestTimeout, "per-upstream-request timeout")
+		grace    = fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests get to finish on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ringPath == "" {
+		return fmt.Errorf("-ring is required")
+	}
+	ring, err := cluster.LoadRing(*ringPath)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.New(cluster.Config{
+		Ring:           ring,
+		ProbeInterval:  *probe,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start(ctx)
+	defer rt.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	for i := range ring.Nodes {
+		n := &ring.Nodes[i]
+		log.Printf("panda-router: node %s at %s owns partitions %v", n.Name, n.URL, n.Partitions)
+	}
+	log.Printf("panda-router: routing %d partitions across %d nodes, serving /v2 on %s",
+		ring.Partitions, len(ring.Nodes), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("panda-router: shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := hs.Shutdown(shutdownCtx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	return shutdownErr
+}

@@ -23,6 +23,12 @@
 // pre-stripe (single-log) dir is migrated in place on first open. See
 // PERSISTENCE.md for the on-disk format and operational procedures.
 //
+// With -cluster-ring and -cluster-node the server runs as one node of a
+// static ring behind panda-router: its slice of the ring is pinned into
+// the data directory's CLUSTER manifest (alongside the WAL's MANIFEST),
+// so a node restarted under a reshaped ring fails loudly instead of
+// serving users it no longer owns. See CLUSTER.md.
+//
 // With -async-ingest, POST /v2/reports?mode=async batches are validated,
 // queued and acknowledged with 202 before they reach the store; a full
 // queue answers 429 with a retry hint, and /v2/ingest/stats exposes the
@@ -45,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/pglp/panda/internal/cluster"
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/policy"
 	"github.com/pglp/panda/internal/policygraph"
@@ -88,9 +95,15 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		asyncIngest = fs.Bool("async-ingest", false, "enable POST /v2/reports?mode=async: early 202 acks, background drain")
 		ingWorkers  = fs.Int("ingest-workers", 0, "async ingest drain workers (0 = GOMAXPROCS)")
 		ingDepth    = fs.Int("ingest-queue", 0, "async ingest queue bound in records (0 = default 65536)")
+
+		clusterRing = fs.String("cluster-ring", "", "ring config file; with -cluster-node, pins this node's ring identity")
+		clusterNode = fs.String("cluster-node", "", "this node's name in the -cluster-ring file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*clusterRing == "") != (*clusterNode == "") {
+		return fmt.Errorf("-cluster-ring and -cluster-node must be set together")
 	}
 
 	grid, err := geo.NewGrid(*rows, *cols, *cell)
@@ -111,6 +124,31 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	mgr, err := policy.NewManager(grid, g, *eps)
 	if err != nil {
 		return err
+	}
+
+	// Pin cluster ownership before the store opens: a node booted under
+	// a reshaped ring (or pointed at another node's data dir) must be
+	// refused before the WAL touches a byte. See CLUSTER.md.
+	if *clusterRing != "" {
+		ring, err := cluster.LoadRing(*clusterRing)
+		if err != nil {
+			return err
+		}
+		node := ring.NodeNamed(*clusterNode)
+		if node == nil {
+			return fmt.Errorf("ring %s has no node named %q", *clusterRing, *clusterNode)
+		}
+		if *dataDir != "" {
+			own, err := cluster.PinOwnership(*dataDir, ring, *clusterNode)
+			if err != nil {
+				return err
+			}
+			log.Printf("panda-server: cluster node %q owns partitions %v of %d (pinned in %s)",
+				own.Node, own.Owned, own.Partitions, *dataDir)
+		} else {
+			log.Printf("panda-server: cluster node %q owns partitions %v of %d (memory-only, ownership not pinned)",
+				node.Name, node.Partitions, ring.Partitions)
+		}
 	}
 
 	var db *server.DB

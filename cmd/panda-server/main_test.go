@@ -4,6 +4,8 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -229,5 +231,84 @@ func TestBadFlags(t *testing.T) {
 		if err := run(ctx, args, nil); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestClusterOwnershipPinning: a node booted with -cluster-ring /
+// -cluster-node pins its ring slice into the data dir's CLUSTER
+// manifest, accepts a restart under the same ring, and refuses a
+// restart under a reshaped one — before touching the WAL.
+func TestClusterOwnershipPinning(t *testing.T) {
+	dataDir := t.TempDir()
+	ringDir := t.TempDir()
+	writeRing := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(ringDir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ringA := writeRing("ring.json", `{
+		"partitions": 4,
+		"nodes": [
+			{"name": "a", "url": "http://127.0.0.1:9001", "partitions": [0, 1]},
+			{"name": "b", "url": "http://127.0.0.1:9002", "partitions": [2, 3]}
+		]
+	}`)
+
+	boot := func(ring string) error {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		errCh := make(chan error, 1)
+		readyCh := make(chan struct{}, 1)
+		go func() {
+			errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-rows", "4", "-cols", "4",
+				"-data-dir", dataDir, "-cluster-ring", ring, "-cluster-node", "a",
+				"-shutdown-grace", "5s"},
+				func(string) { readyCh <- struct{}{} })
+		}()
+		select {
+		case <-readyCh:
+			cancel()
+			return <-errCh
+		case err := <-errCh:
+			return err
+		case <-time.After(15 * time.Second):
+			t.Fatal("server neither became ready nor failed")
+			return nil
+		}
+	}
+
+	if err := boot(ringA); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dataDir, "CLUSTER"))
+	if err != nil {
+		t.Fatalf("ownership manifest not written: %v", err)
+	}
+	want := "panda-cluster-manifest v1\nnode a\npartitions 4\nowned 0,1\n"
+	if string(manifest) != want {
+		t.Fatalf("manifest = %q, want %q", manifest, want)
+	}
+	// Same ring again: clean boot.
+	if err := boot(ringA); err != nil {
+		t.Fatalf("reboot under the same ring: %v", err)
+	}
+	// Reshaped ring: refused, naming the mismatch.
+	ringB := writeRing("ring2.json", `{
+		"partitions": 4,
+		"nodes": [
+			{"name": "a", "url": "http://127.0.0.1:9001", "partitions": [0]},
+			{"name": "b", "url": "http://127.0.0.1:9002", "partitions": [1, 2, 3]}
+		]
+	}`)
+	err = boot(ringB)
+	if err == nil || !strings.Contains(err.Error(), "ownership mismatch") {
+		t.Fatalf("boot under reshaped ring: err = %v, want ownership mismatch", err)
+	}
+	// Mismatched cluster flags alone are refused too.
+	if err := run(context.Background(), []string{"-cluster-ring", ringA}, nil); err == nil {
+		t.Error("-cluster-ring without -cluster-node accepted")
 	}
 }

@@ -1,0 +1,25 @@
+// Package cluster scales the PANDA server horizontally: a static ring
+// partitions users across N panda-server processes, and a router
+// proxies the /v2 surface over them — per-user operations go to the
+// owning node, cross-user analytics are answered by scatter-gather
+// over per-node partial aggregates merged at read time.
+//
+// The design promotes the single-node sharding seam one level up. The
+// ring routes user → partition with storage.ShardFor — the exact
+// function that routes user → memory shard → WAL stripe inside one
+// node — so "the node a user lives on" is decided by the same
+// arithmetic as "the stripe their log entries live in", and the
+// merged aggregates compose the same way the sharded store composes
+// shards: density counts sum element-wise, the census sums per code,
+// and the composite cluster epoch is the sum of per-node epochs, which
+// stays monotone exactly like storage.Sharded's Gen/Epoch sums of
+// per-shard counters. A cluster of N nodes is, to a reader of the
+// merged responses, indistinguishable from one bigger sharded store.
+//
+// Ownership is pinned twice, mirroring the WAL's MANIFEST pattern: the
+// ring file is the cluster-wide truth, and each node's data directory
+// carries a CLUSTER manifest recording the node name, partition count
+// and owned partitions, so a node restarted under a reshaped ring
+// fails loudly instead of silently serving (or re-ingesting) users it
+// no longer owns. See CLUSTER.md for the operator guide.
+package cluster

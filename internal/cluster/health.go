@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// nodeState is the router's view of one node's health. It starts
+// optimistic (up, never probed): the first probe or proxied request
+// settles it, and from then on requests routed to a down node fail
+// fast — a 503 naming the node — instead of re-discovering the outage
+// one connection timeout at a time. Any successful response (probe or
+// proxied) marks the node back up, so recovery needs no operator
+// action.
+type nodeState struct {
+	mu     sync.Mutex
+	up     bool
+	reason string               // why down; "" while up
+	health wire.HealthzResponse // body of the last successful probe
+}
+
+func (ns *nodeState) markUp() {
+	ns.mu.Lock()
+	ns.up, ns.reason = true, ""
+	ns.mu.Unlock()
+}
+
+func (ns *nodeState) markDown(reason string) {
+	ns.mu.Lock()
+	ns.up, ns.reason = false, reason
+	ns.mu.Unlock()
+}
+
+func (ns *nodeState) snapshot() (up bool, reason string, health wire.HealthzResponse) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.up, ns.reason, ns.health
+}
+
+// probeNode performs one GET /v2/healthz against node i and folds the
+// outcome into its state: 200 ok → up (health body recorded), anything
+// else → down with a reason naming what failed. The healthz body is
+// kept even on a 503 "failing" answer, so the router's own healthz can
+// show *why* the node is failing, not just that it is.
+func (rt *Router) probeNode(ctx context.Context, i int) {
+	node, ns := &rt.ring.Nodes[i], rt.nodes[i]
+	ctx, cancel := context.WithTimeout(ctx, rt.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.URL+"/v2/healthz", nil)
+	if err != nil {
+		ns.markDown(fmt.Sprintf("building probe: %v", err))
+		return
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		ns.markDown(fmt.Sprintf("healthz probe: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	var h wire.HealthzResponse
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); derr != nil || h.Status == "" {
+		ns.markDown(fmt.Sprintf("healthz probe: status %d with non-healthz body", resp.StatusCode))
+		return
+	}
+	ns.mu.Lock()
+	ns.health = h
+	if resp.StatusCode == http.StatusOK && h.Status == "ok" {
+		ns.up, ns.reason = true, ""
+	} else {
+		ns.up = false
+		ns.reason = fmt.Sprintf("healthz status %q (http %d)", h.Status, resp.StatusCode)
+		if h.StoreError != "" {
+			ns.reason += ": " + h.StoreError
+		}
+	}
+	ns.mu.Unlock()
+}
+
+// ProbeOnce probes every node in parallel and returns once all probes
+// complete (each bounded by the request timeout). The background loop
+// calls it every probe interval; tests and the cluster healthz handler
+// call it directly for a fresh view.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range rt.ring.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt.probeNode(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Start launches the background health loop: an immediate probe of
+// every node, then one every probe interval. Stop (or cancelling ctx)
+// ends it. Calling Start more than once is a no-op.
+func (rt *Router) Start(ctx context.Context) {
+	rt.startOnce.Do(func() {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.ProbeOnce(ctx)
+			ticker := time.NewTicker(rt.probeEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-rt.stop:
+					return
+				case <-ticker.C:
+					rt.ProbeOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the background health loop and waits for it to exit. A
+// router that was never started stops trivially.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+const goodRing = `{
+	"partitions": 8,
+	"nodes": [
+		{"name": "a", "url": "http://127.0.0.1:9001/", "partitions": [0, 2, 4, 6]},
+		{"name": "b", "url": "http://127.0.0.1:9002", "partitions": [7, 5, 3, 1]}
+	]
+}`
+
+func TestParseRing(t *testing.T) {
+	r, err := ParseRing([]byte(goodRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partitions != 8 || len(r.Nodes) != 2 {
+		t.Fatalf("ring = %d partitions, %d nodes", r.Partitions, len(r.Nodes))
+	}
+	// Normalization: partition lists sort, trailing URL slash trims.
+	if got := r.Nodes[1].Partitions; !reflect.DeepEqual(got, []int{1, 3, 5, 7}) {
+		t.Errorf("node b partitions = %v, want sorted", got)
+	}
+	if r.Nodes[0].URL != "http://127.0.0.1:9001" {
+		t.Errorf("node a url = %q, want trailing slash trimmed", r.Nodes[0].URL)
+	}
+	// Ownership: even partitions → a, odd → b.
+	for p := 0; p < 8; p++ {
+		want := "a"
+		if p%2 == 1 {
+			want = "b"
+		}
+		if got := r.Nodes[r.owner[p]].Name; got != want {
+			t.Errorf("partition %d owned by %q, want %q", p, got, want)
+		}
+	}
+	if n := r.NodeNamed("b"); n == nil || n.URL != "http://127.0.0.1:9002" {
+		t.Errorf("NodeNamed(b) = %+v", n)
+	}
+	if n := r.NodeNamed("nope"); n != nil {
+		t.Errorf("NodeNamed(nope) = %+v, want nil", n)
+	}
+}
+
+// TestParseRingRejections: a malformed ring must never route a request.
+func TestParseRingRejections(t *testing.T) {
+	cases := []struct {
+		name, ring, want string
+	}{
+		{"bad json", `{`, "decoding ring"},
+		{"zero partitions", `{"partitions":0,"nodes":[{"name":"a","url":"http://h","partitions":[0]}]}`, "partitions >= 1"},
+		{"no nodes", `{"partitions":2,"nodes":[]}`, "no nodes"},
+		{"unnamed node", `{"partitions":1,"nodes":[{"url":"http://h","partitions":[0]}]}`, "no name"},
+		{"whitespace name", `{"partitions":1,"nodes":[{"name":"a b","url":"http://h","partitions":[0]}]}`, "whitespace"},
+		{"duplicate name", `{"partitions":2,"nodes":[{"name":"a","url":"http://h","partitions":[0]},{"name":"a","url":"http://i","partitions":[1]}]}`, "duplicate node name"},
+		{"bad url", `{"partitions":1,"nodes":[{"name":"a","url":"not a url","partitions":[0]}]}`, "unusable url"},
+		{"ownerless node", `{"partitions":1,"nodes":[{"name":"a","url":"http://h","partitions":[0]},{"name":"b","url":"http://i","partitions":[]}]}`, "owns no partitions"},
+		{"out of range", `{"partitions":2,"nodes":[{"name":"a","url":"http://h","partitions":[0,2]}]}`, "outside [0, 2)"},
+		{"double owned", `{"partitions":2,"nodes":[{"name":"a","url":"http://h","partitions":[0,1]},{"name":"b","url":"http://i","partitions":[1]}]}`, "owned by both"},
+		{"unowned", `{"partitions":3,"nodes":[{"name":"a","url":"http://h","partitions":[0,1]}]}`, "partition 2 is unowned"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseRing([]byte(tc.ring)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPartitionForMatchesShardFor: cluster placement is the same
+// arithmetic as in-node shard placement, negative IDs included.
+func TestPartitionForMatchesShardFor(t *testing.T) {
+	r, err := ParseRing([]byte(goodRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range []int{0, 1, 7, 8, 100, 12345, -1, -8, -13} {
+		if got, want := r.PartitionFor(user), storage.ShardFor(user, 8); got != want {
+			t.Errorf("PartitionFor(%d) = %d, want ShardFor = %d", user, got, want)
+		}
+	}
+}
+
+func TestOwnershipPinAndVerify(t *testing.T) {
+	r, err := ParseRing([]byte(goodRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "node-a") // PinOwnership must create it
+	if _, ok, err := ReadOwnership(t.TempDir()); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v, want absent manifest", ok, err)
+	}
+	own, err := PinOwnership(dir, r, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Ownership{Node: "a", Partitions: 8, Owned: []int{0, 2, 4, 6}}
+	if !reflect.DeepEqual(own, want) {
+		t.Fatalf("pinned %+v, want %+v", own, want)
+	}
+	got, ok, err := ReadOwnership(dir)
+	if err != nil || !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("reread: %+v ok=%v err=%v", got, ok, err)
+	}
+	// Re-pinning the same identity is idempotent.
+	if _, err := PinOwnership(dir, r, "a"); err != nil {
+		t.Fatalf("re-pin: %v", err)
+	}
+	// A different node name on the same dir must refuse.
+	if _, err := PinOwnership(dir, r, "b"); !errors.Is(err, ErrOwnershipMismatch) {
+		t.Fatalf("pin as b: err = %v, want ErrOwnershipMismatch", err)
+	}
+	// A reshaped ring (same name, different slice) must refuse too.
+	reshaped, err := ParseRing([]byte(strings.ReplaceAll(goodRing, `"partitions": [0, 2, 4, 6]`, `"partitions": [0, 2]`)))
+	if err == nil {
+		t.Fatal("expected the naive reshape to be invalid (unowned partitions)")
+	}
+	reshaped, err = ParseRing([]byte(`{
+		"partitions": 8,
+		"nodes": [
+			{"name": "a", "url": "http://127.0.0.1:9001", "partitions": [0, 2]},
+			{"name": "b", "url": "http://127.0.0.1:9002", "partitions": [1, 3, 4, 5, 6, 7]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PinOwnership(dir, reshaped, "a"); !errors.Is(err, ErrOwnershipMismatch) {
+		t.Fatalf("pin under reshaped ring: err = %v, want ErrOwnershipMismatch", err)
+	}
+	// Pinning a name the ring does not know is an error before any I/O.
+	if _, err := PinOwnership(dir, r, "ghost"); err == nil || !strings.Contains(err.Error(), "no node named") {
+		t.Fatalf("pin unknown node: %v", err)
+	}
+}
+
+func TestOwnershipMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"truncated":      "panda-cluster-manifest v1\nnode a\n",
+		"future version": "panda-cluster-manifest v9\nnode a\npartitions 8\nowned 0\n",
+		"bad partition":  "panda-cluster-manifest v1\nnode a\npartitions 8\nowned 0,9\n",
+		"garbage":        "hello\nworld\nfoo\nbar\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, ownershipName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadOwnership(dir); err == nil {
+			t.Errorf("%s: ReadOwnership accepted a malformed manifest", name)
+		}
+	}
+}

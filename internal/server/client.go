@@ -9,6 +9,8 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -81,14 +83,18 @@ func NewClient(base string, httpClient *http.Client, opts ...Option) *Client {
 }
 
 // APIError is a decoded /v2 error envelope. On CodeStalePolicy, Policy
-// carries the server's current policy for the user; on CodeQueueFull,
-// RetryAfter carries the server's backpressure hint.
+// carries the server's current policy for the user; on CodeQueueFull
+// and CodeNodeDown, RetryAfter carries the server's backoff hint —
+// taken from the envelope's retry_after_ms when present, else from a
+// Retry-After header (which is how 503s from the cluster router and
+// plain proxies announce theirs).
 type APIError struct {
 	Status     int    // HTTP status
 	Code       string // machine-readable wire code
 	Message    string
 	Policy     *wire.Policy  // inline renegotiation payload, if any
-	RetryAfter time.Duration // backpressure hint of a 429, 0 otherwise
+	RetryAfter time.Duration // backoff hint of a 429/503, 0 when none was sent
+	Node       string        // cluster node named by a node_unavailable routing error
 }
 
 func (e *APIError) Error() string {
@@ -139,10 +145,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // do performs one API request with retry: transport errors and 5xx
 // responses are retried up to MaxAttempts with jittered exponential
-// backoff, and 429 responses (async-ingest backpressure) are retried
-// after the server's retry_after_ms hint instead of the backoff curve;
-// everything else is decoded (into out or an *APIError) and returned
-// as-is.
+// backoff, and responses carrying a retry hint — 429 async-ingest
+// backpressure (retry_after_ms) and 503s with a Retry-After header
+// (e.g. the cluster router's node_unavailable) — are retried after the
+// hint instead of the backoff curve; everything else is decoded (into
+// out or an *APIError) and returned as-is.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var data []byte
 	if body != nil {
@@ -211,7 +218,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			// Reading (vs just discarding) keeps the connection reusable.
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
-			lastErr = apiErrorFromBody(resp.StatusCode, resp.Status, body)
+			lastErr = apiErrorFromResponse(resp, body)
 			continue
 		}
 		err = decodeResponse(resp, out)
@@ -229,21 +236,44 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
-// apiErrorFromBody decodes an error-envelope body into an *APIError,
-// falling back to the bare status when the body is not an envelope.
-func apiErrorFromBody(status int, statusText string, body []byte) *APIError {
+// apiErrorFromResponse decodes an error-envelope body into an
+// *APIError, falling back to the bare status when the body is not an
+// envelope. The backoff hint comes from the envelope's retry_after_ms
+// when present; otherwise a Retry-After header fills it in, so 503s
+// from the cluster router (and anything else that only speaks the
+// standard header) drive the same polite retry as 429 backpressure.
+func apiErrorFromResponse(resp *http.Response, body []byte) *APIError {
+	headerHint := retryAfterHeader(resp.Header)
 	var e wire.Error
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		code := e.Code
 		if code == "" {
 			code = "unknown" // /v1 envelopes carry no code
 		}
+		hint := time.Duration(e.RetryAfterMS) * time.Millisecond
+		if hint <= 0 {
+			hint = headerHint
+		}
 		return &APIError{
-			Status: status, Code: code, Message: e.Error, Policy: e.Policy,
-			RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond,
+			Status: resp.StatusCode, Code: code, Message: e.Error, Policy: e.Policy,
+			RetryAfter: hint, Node: e.Node,
 		}
 	}
-	return &APIError{Status: status, Code: "unknown", Message: statusText}
+	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status, RetryAfter: headerHint}
+}
+
+// retryAfterHeader parses a Retry-After header's delay-seconds form
+// (the only form PANDA servers emit; HTTP-date values are ignored).
+func retryAfterHeader(h http.Header) time.Duration {
+	raw := h.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(raw))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -252,7 +282,7 @@ func decodeResponse(resp *http.Response, out any) error {
 		// graph inline, which on a large grid runs to many megabytes —
 		// truncating it would silently break renegotiation.
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-		return apiErrorFromBody(resp.StatusCode, resp.Status, body)
+		return apiErrorFromResponse(resp, body)
 	}
 	if out == nil {
 		return nil
@@ -440,6 +470,35 @@ func (c *Client) ReportBatchAsyncContext(ctx context.Context, user int, releases
 		return AsyncAck{}, fmt.Errorf("server client: unrecognized report acknowledgement")
 	}
 	return ack, nil
+}
+
+// Healthz probes GET /v2/healthz and returns the decoded body for both
+// outcomes — a healthy 200 and a failing 503 both carry the same
+// response shape, distinguished by its Status field ("ok"/"failing").
+// Unlike every other method this one never retries: a probe wants the
+// current truth, not an eventually-successful one. The error is non-nil
+// only when the probe itself failed (transport error, or a body that is
+// not a healthz response).
+func (c *Client) Healthz() (wire.HealthzResponse, error) {
+	return c.HealthzContext(context.Background())
+}
+
+// HealthzContext is Healthz under an explicit context.
+func (c *Client) HealthzContext(ctx context.Context) (wire.HealthzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/healthz", nil)
+	if err != nil {
+		return wire.HealthzResponse{}, fmt.Errorf("server client: healthz: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return wire.HealthzResponse{}, fmt.Errorf("server client: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var out wire.HealthzResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil || out.Status == "" {
+		return wire.HealthzResponse{}, fmt.Errorf("server client: healthz: status %d with non-healthz body", resp.StatusCode)
+	}
+	return out, nil
 }
 
 // IngestStats fetches the async ingestion queue's observability

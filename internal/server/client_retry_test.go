@@ -172,6 +172,71 @@ func TestClient429Exhausted(t *testing.T) {
 	}
 }
 
+// TestClient503RetryAfterHeader: a 503 whose only hint is the standard
+// Retry-After header (the cluster router's node_unavailable shape, and
+// what generic proxies emit) is honored exactly like a 429's envelope
+// hint: surfaced on the APIError and driving the retry wait.
+func TestClient503RetryAfterHeader(t *testing.T) {
+	const hintSec = 1
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(wire.Error{
+				Error: "node a (http://a) unavailable: connection refused",
+				Code:  wire.CodeNodeDown, Node: "a",
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(wire.DensityResponse{T: 0, Counts: []int{5}})
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(),
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Second}))
+	start := time.Now()
+	counts, err := client.Density(0, 1, 1)
+	if err != nil {
+		t.Fatalf("retry after node_unavailable: %v", err)
+	}
+	if !reflect.DeepEqual(counts, []int{5}) {
+		t.Errorf("counts = %v", counts)
+	}
+	// The wait must come from the header (1s), not the millisecond curve.
+	if elapsed := time.Since(start); elapsed < hintSec*time.Second {
+		t.Errorf("retry happened after %v, want >= %v (the Retry-After header)", elapsed, hintSec*time.Second)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestClient503NodeSurfaced: when retries run out against a dead
+// cluster node, the APIError carries the node name and the hint — the
+// envelope's retry_after_ms taking precedence over the header.
+func TestClient503NodeSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "9")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(wire.Error{
+			Error: "node b unavailable", Code: wire.CodeNodeDown, Node: "b", RetryAfterMS: 250,
+		})
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client(), WithRetry(RetryPolicy{MaxAttempts: 1}))
+	_, err := client.Density(0, 1, 1)
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusServiceUnavailable || ae.Code != wire.CodeNodeDown {
+		t.Fatalf("err = %v, want 503 node_unavailable APIError", err)
+	}
+	if ae.Node != "b" {
+		t.Errorf("Node = %q, want b", ae.Node)
+	}
+	if want := 250 * time.Millisecond; ae.RetryAfter != want {
+		t.Errorf("RetryAfter = %v, want the envelope's %v (precedence over the header)", ae.RetryAfter, want)
+	}
+}
+
 // TestBackoffDefaults: a policy that only sets MaxAttempts still backs
 // off — unset delays inherit DefaultRetryPolicy instead of producing a
 // tight retry loop.

@@ -10,6 +10,7 @@ import (
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/server/ingest"
+	"github.com/pglp/panda/internal/server/storage/wal"
 	"github.com/pglp/panda/internal/server/wire"
 )
 
@@ -28,6 +29,7 @@ const (
 // uniform {error, code} envelope.
 func (s *Server) routeV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/reports", s.handleV2Reports)
+	mux.HandleFunc("GET /v2/healthz", s.handleV2Healthz)
 	mux.HandleFunc("GET /v2/ingest/stats", s.handleV2IngestStats)
 	mux.HandleFunc("GET /v2/records", s.handleV2Records)
 	mux.HandleFunc("GET /v2/policy", s.handleV2Policy)
@@ -185,6 +187,38 @@ func (s *Server) v2ReportsAsync(w http.ResponseWriter, recs []Record, policyVers
 	}
 }
 
+// handleV2Healthz answers the uniform liveness probe: store size, the
+// global write epoch, and — on durable stores — the WAL's surfaced
+// failures (append errors are the fail-stop condition, compaction
+// errors are non-fatal). A failing store answers 503 so the cluster
+// router's probe and plain load balancers can act on the status code
+// alone; healthy servers answer 200. The check is cheap (counter reads,
+// no scans), so probing every second is fine.
+func (s *Server) handleV2Healthz(w http.ResponseWriter, r *http.Request) {
+	resp := wire.HealthzResponse{
+		Status:  "ok",
+		Records: s.db.Len(),
+		MaxT:    s.db.MaxT(),
+		Epoch:   s.db.Store().Epoch(),
+	}
+	if ws, ok := s.db.Store().(*wal.Store); ok {
+		if err := ws.Err(); err != nil {
+			resp.Status = "failing"
+			resp.StoreError = err.Error()
+		}
+		if ce := ws.Stats().CompactErr; ce != nil {
+			resp.CompactError = ce.Error()
+		}
+	}
+	if resp.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
 // handleV2IngestStats reports the async ingestion queue's counters.
 // With async ingest disabled it answers enabled=false rather than 404,
 // so monitors can probe the capability uniformly.
@@ -310,7 +344,12 @@ func (s *Server) handleV2Density(w http.ResponseWriter, r *http.Request) {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, wire.DensityResponse{T: t, Counts: s.db.DensityAt(t, br, bc)})
+	// Read the generation before computing: a racing write then at worst
+	// makes the reported Gen a step older than the counts, never newer —
+	// a client comparing Gens can only over-refresh, never trust stale
+	// data (the same ordering rule the engine's cache uses).
+	gen := s.db.Store().Gen(t)
+	writeJSON(w, wire.DensityResponse{T: t, Counts: s.db.DensityAt(t, br, bc), Gen: gen})
 }
 
 func (s *Server) handleV2DensitySeries(w http.ResponseWriter, r *http.Request) {
@@ -324,12 +363,13 @@ func (s *Server) handleV2DensitySeries(w http.ResponseWriter, r *http.Request) {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
+	epoch := s.db.Store().Epoch() // before the compute: see handleV2Density
 	series, err := s.db.DensitySeries(t0, t1, br, bc)
 	if err != nil {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, wire.DensitySeriesResponse{T0: t0, T1: t1, Series: series})
+	writeJSON(w, wire.DensitySeriesResponse{T0: t0, T1: t1, Series: series, Epoch: epoch})
 }
 
 func (s *Server) handleV2Exposure(w http.ResponseWriter, r *http.Request) {
@@ -338,12 +378,13 @@ func (s *Server) handleV2Exposure(w http.ResponseWriter, r *http.Request) {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
+	epoch := s.db.Store().Epoch() // before the compute: see handleV2Density
 	series, err := s.db.InfectedExposureSeries(t0, t1, s.mgr.InfectedCells())
 	if err != nil {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, wire.ExposureResponse{T0: t0, T1: t1, Exposure: series})
+	writeJSON(w, wire.ExposureResponse{T0: t0, T1: t1, Exposure: series, Epoch: epoch})
 }
 
 func (s *Server) handleV2Census(w http.ResponseWriter, r *http.Request) {
@@ -360,10 +401,11 @@ func (s *Server) handleV2Census(w http.ResponseWriter, r *http.Request) {
 	if now < 0 {
 		now = s.db.MaxT()
 	}
+	epoch := s.db.Store().Epoch() // before the compute: see handleV2Density
 	census := s.db.CodeCensus(s.mgr.InfectedCells(), window, now)
 	out := make(map[string]int, len(census))
 	for code, n := range census {
 		out[string(code)] = n
 	}
-	writeJSON(w, wire.CensusResponse{Census: out, Window: window, Now: now})
+	writeJSON(w, wire.CensusResponse{Census: out, Window: window, Now: now, Epoch: epoch})
 }

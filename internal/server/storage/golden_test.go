@@ -1,0 +1,40 @@
+package storage
+
+import "testing"
+
+// TestShardForGolden pins ShardFor's exact output for fixed inputs.
+// This function is load-bearing three times over: it places users into
+// memory shards, into WAL stripes (pinned on disk by each directory's
+// MANIFEST), and — through the cluster ring — onto nodes (pinned by
+// each node's CLUSTER manifest). Changing any of these values silently
+// orphans persisted data and strands users on the wrong node, so a
+// change here must fail loudly and come with an offline migration
+// story (see PERSISTENCE.md and CLUSTER.md).
+func TestShardForGolden(t *testing.T) {
+	users := []int{0, 1, 2, 7, 8, 15, 16, 100, 12345, 2147483647, -1, -2, -8, -13}
+	golden := map[int][]int{
+		1:  {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		2:  {0, 1, 0, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1},
+		3:  {0, 1, 2, 1, 2, 0, 1, 1, 0, 1, 0, 2, 2, 0},
+		8:  {0, 1, 2, 7, 0, 7, 0, 4, 1, 7, 7, 6, 0, 3},
+		16: {0, 1, 2, 7, 8, 15, 0, 4, 9, 15, 15, 14, 8, 3},
+	}
+	for n, want := range golden {
+		for i, user := range users {
+			if got := ShardFor(user, n); got != want[i] {
+				t.Errorf("ShardFor(%d, %d) = %d, want the pinned %d", user, n, got, want[i])
+			}
+		}
+	}
+	// Negative IDs wrap through uint — they never produce a negative
+	// index, and the wrap itself is part of the pinned contract.
+	if got := ShardFor(-1, 8); got != 7 {
+		t.Errorf("ShardFor(-1, 8) = %d, want 7 (uint wrap)", got)
+	}
+	// Degenerate shard counts collapse to a single shard, not a panic.
+	for _, n := range []int{1, 0, -3} {
+		if got := ShardFor(42, n); got != 0 {
+			t.Errorf("ShardFor(42, %d) = %d, want 0", n, got)
+		}
+	}
+}

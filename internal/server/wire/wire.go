@@ -16,6 +16,13 @@ const (
 	CodeInternal    = "internal"         // server-side failure (500)
 	CodeQueueFull   = "queue_full"       // async ingest queue at capacity, retry later (429)
 	CodeUnavailable = "unavailable"      // server is shutting down (503)
+	// CodeNodeDown is returned by the cluster router when the node owning
+	// the requested user — or any node of a scatter-gather query — is
+	// unreachable or failing its health probe. The envelope's Node field
+	// names the dead node and the Retry-After header carries the probe
+	// interval, so clients back off politely instead of hammering a dead
+	// partition. (503)
+	CodeNodeDown = "node_unavailable"
 )
 
 // Error is the uniform /v2 error envelope. Every non-2xx response body
@@ -30,6 +37,10 @@ type Error struct {
 	Code         string  `json:"code"`
 	Policy       *Policy `json:"policy,omitempty"`
 	RetryAfterMS int     `json:"retry_after_ms,omitempty"`
+	// Node names the cluster node behind a CodeNodeDown routing error,
+	// so automation can act on the failing node without parsing the
+	// human-readable message.
+	Node string `json:"node,omitempty"`
 }
 
 // Policy is the wire form of a user's location-privacy policy. The graph
@@ -138,31 +149,92 @@ type HealthCodeResponse struct {
 }
 
 // DensityResponse carries per-region release counts at one timestep.
+//
+// Gen is the store's write generation for timestep t, read before the
+// counts were computed — the cache-consistency token of the epoch/Gen
+// contract (ARCHITECTURE.md). On a single node it is Gen(t); through
+// the cluster router it is the sum of the per-node generations, which
+// stays monotone exactly the way the sharded store's Gen sums per-shard
+// counters. A repeated query whose Gen did not change saw identical
+// data.
 type DensityResponse struct {
-	T      int   `json:"t"`
-	Counts []int `json:"counts"`
+	T      int    `json:"t"`
+	Counts []int  `json:"counts"`
+	Gen    uint64 `json:"gen"`
 }
 
 // DensitySeriesResponse carries per-region counts for each timestep in
-// [t0, t1].
+// [t0, t1]. Epoch is the store's global write generation read before
+// the series was computed (summed across nodes by the cluster router);
+// see DensityResponse.Gen for the consistency semantics.
 type DensitySeriesResponse struct {
 	T0     int     `json:"t0"`
 	T1     int     `json:"t1"`
 	Series [][]int `json:"series"`
+	Epoch  uint64  `json:"epoch"`
 }
 
-// ExposureResponse carries the infected-place exposure series.
+// ExposureResponse carries the infected-place exposure series. Epoch is
+// the store's global write generation read before the series was
+// computed (summed across nodes by the cluster router).
 type ExposureResponse struct {
-	T0       int   `json:"t0"`
-	T1       int   `json:"t1"`
-	Exposure []int `json:"exposure"`
+	T0       int    `json:"t0"`
+	T1       int    `json:"t1"`
+	Exposure []int  `json:"exposure"`
+	Epoch    uint64 `json:"epoch"`
 }
 
-// CensusResponse tallies health codes across all known users.
+// CensusResponse tallies health codes across all known users. Epoch is
+// the store's global write generation read before the tally was
+// computed (summed across nodes by the cluster router) — the same
+// counter the census cache itself is pinned to.
 type CensusResponse struct {
 	Census map[string]int `json:"census"`
 	Window int            `json:"window"`
 	Now    int            `json:"now"`
+	Epoch  uint64         `json:"epoch"`
+}
+
+// HealthzResponse is the body of GET /v2/healthz — the uniform liveness
+// probe of one server process. Status is "ok" or "failing"; a failing
+// server also answers HTTP 503 so load balancers and the cluster
+// router's probe can act on the status code alone. StoreError surfaces
+// a durable store's append failure (the fail-stop condition);
+// CompactError surfaces a non-fatal background-compaction failure (the
+// log keeps growing until it recovers). Both are empty on memory-backed
+// servers.
+type HealthzResponse struct {
+	Status       string `json:"status"`
+	Records      int    `json:"records"`
+	MaxT         int    `json:"max_t"`
+	Epoch        uint64 `json:"epoch"`
+	StoreError   string `json:"store_error,omitempty"`
+	CompactError string `json:"compact_error,omitempty"`
+}
+
+// NodeStatus is one node's entry in the cluster router's healthz
+// response: the ring identity plus the last probe's outcome.
+type NodeStatus struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	Partitions []int  `json:"partitions"`
+	Up         bool   `json:"up"`
+	Error      string `json:"error,omitempty"`
+	Records    int    `json:"records"`
+	MaxT       int    `json:"max_t"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// ClusterHealthzResponse is the body of GET /v2/healthz on the cluster
+// router: per-node probe results plus the composite cluster epoch (the
+// sum of reachable nodes' store epochs — monotone while the fleet is
+// healthy, advisory while any node is down). Status is "ok" when every
+// node is up, "degraded" otherwise (with HTTP 503).
+type ClusterHealthzResponse struct {
+	Status       string       `json:"status"`
+	Partitions   int          `json:"partitions"`
+	ClusterEpoch uint64       `json:"cluster_epoch"`
+	Nodes        []NodeStatus `json:"nodes"`
 }
 
 // cursorPrefix versions the cursor encoding so a future format change

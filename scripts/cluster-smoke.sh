@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — end-to-end smoke of the real binaries: two
+# panda-server processes pinned to a ring, panda-router in front,
+# panda-bench load through the router, then a kill-one-node check that
+# routing fails fast with a 503 naming the dead node (CLUSTER.md's
+# failure table, exercised over real processes and ports).
+#
+# Appends one NDJSON line to bench-trend.json in the repo root so CI
+# runs accumulate a throughput trend artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bindir="$workdir/bin"
+mkdir -p "$bindir"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "cluster-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_http() { # wait_http <url> — poll until anything answers on <url>
+  for _ in $(seq 1 100); do
+    if curl -s -o /dev/null "$1"; then return 0; fi
+    sleep 0.1
+  done
+  fail "nothing answering at $1 after 10s"
+}
+
+echo "cluster-smoke: building binaries"
+go build -o "$bindir" ./cmd/panda-server ./cmd/panda-router ./cmd/panda-bench
+
+node0=127.0.0.1:18080
+node1=127.0.0.1:18081
+router=127.0.0.1:18090
+
+cat > "$workdir/ring.json" <<EOF
+{
+  "partitions": 16,
+  "nodes": [
+    {"name": "node0", "url": "http://$node0", "partitions": [0,2,4,6,8,10,12,14]},
+    {"name": "node1", "url": "http://$node1", "partitions": [1,3,5,7,9,11,13,15]}
+  ]
+}
+EOF
+
+echo "cluster-smoke: starting 2 nodes + router"
+"$bindir/panda-server" -addr "$node0" -rows 32 -cols 32 -shards 4 \
+  -data-dir "$workdir/node0" -cluster-ring "$workdir/ring.json" -cluster-node node0 &
+pids+=($!)
+"$bindir/panda-server" -addr "$node1" -rows 32 -cols 32 -shards 4 \
+  -data-dir "$workdir/node1" -cluster-ring "$workdir/ring.json" -cluster-node node1 &
+pids+=($!)
+node1_pid=$!
+wait_http "http://$node0/v2/healthz"
+wait_http "http://$node1/v2/healthz"
+
+# Both nodes pinned their ring slice next to the WAL MANIFEST.
+for n in node0 node1; do
+  grep -q "^node $n\$" "$workdir/$n/CLUSTER" || fail "$n ownership manifest not pinned"
+done
+
+"$bindir/panda-router" -addr "$router" -ring "$workdir/ring.json" -probe-interval 500ms &
+pids+=($!)
+wait_http "http://$router/v2/healthz"
+
+echo "cluster-smoke: loading through the router"
+"$bindir/panda-bench" -load -url "http://$router" \
+  -lusers 64 -lsteps 20 -lbatch 20 -lqueries 50 | tee "$workdir/bench.out"
+
+rate=$(sed -n 's|.*(\([0-9][0-9]*\) releases/sec).*|\1|p' "$workdir/bench.out" | head -n 1)
+[ -n "$rate" ] || fail "could not extract releases/sec from the bench output"
+
+# Healthy fleet: composite healthz is 200 ok over both nodes.
+curl -fsS "http://$router/v2/healthz" > "$workdir/healthz.json"
+grep -q '"status":"ok"' "$workdir/healthz.json" || fail "healthz not ok: $(cat "$workdir/healthz.json")"
+
+# Kill node1 and prove fail-fast routing: a user on node1's partitions
+# gets an immediate 503 naming the node, with a Retry-After hint; a
+# scatter query refuses to undercount; node0's users are unaffected.
+echo "cluster-smoke: killing node1"
+kill "$node1_pid"
+wait "$node1_pid" 2>/dev/null || true
+
+code=$(curl -s -D "$workdir/hdrs" -o "$workdir/err.json" -w '%{http_code}' \
+  "http://$router/v2/records?user=1")
+[ "$code" = 503 ] || fail "user on dead node: got $code, want 503 ($(cat "$workdir/err.json"))"
+grep -q '"code":"node_unavailable"' "$workdir/err.json" || fail "503 without node_unavailable: $(cat "$workdir/err.json")"
+grep -q '"node":"node1"' "$workdir/err.json" || fail "503 does not name node1: $(cat "$workdir/err.json")"
+grep -qi '^retry-after:' "$workdir/hdrs" || fail "503 without a Retry-After header"
+
+code=$(curl -s -o "$workdir/err2.json" -w '%{http_code}' \
+  "http://$router/v2/density?t=0&block_rows=8&block_cols=8")
+[ "$code" = 503 ] || fail "scatter with a dead node: got $code, want 503"
+grep -q '"node":"node1"' "$workdir/err2.json" || fail "scatter 503 does not name node1"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$router/v2/records?user=2")
+[ "$code" = 200 ] || fail "user on the surviving node: got $code, want 200"
+
+code=$(curl -s -o "$workdir/healthz2.json" -w '%{http_code}' "http://$router/v2/healthz")
+[ "$code" = 503 ] || fail "degraded healthz: got $code, want 503"
+grep -q '"status":"degraded"' "$workdir/healthz2.json" || fail "healthz not degraded: $(cat "$workdir/healthz2.json")"
+
+commit=${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
+printf '{"bench":"cluster-smoke","commit":"%s","date":"%s","nodes":2,"ingest_releases_per_sec":%s}\n' \
+  "$commit" "$(date -u +%FT%TZ)" "$rate" >> bench-trend.json
+
+echo "cluster-smoke: PASS (${rate} releases/sec through the router)"
