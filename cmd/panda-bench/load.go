@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -50,6 +51,13 @@ type loadConfig struct {
 	// node) and async (per-node queues; the drain wait polls the
 	// router's merged /v2/ingest/stats).
 	cluster int
+
+	// Binary mode: report in the binary record format
+	// (application/x-panda-records) instead of JSON. The harness runs a
+	// JSON pass first with the same workload, then the binary pass, and
+	// prints the ingest-rate and allocations-per-release comparison.
+	// Composes with async, durable, stripes and cluster.
+	binary bool
 }
 
 // latencyRecorder collects per-request latencies, concurrently.
@@ -160,112 +168,39 @@ func runLoad(cfg loadConfig) error {
 		fmt.Printf("load: targeting %s\n", base)
 	}
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.users + 8}}
+	ctx := context.Background()
 
 	// Phase 1: batch ingestion, one goroutine per user. In async mode
 	// the recorded latency is the 202 ack (the client retries 429
-	// backpressure internally, honoring the server's hint).
-	fmt.Printf("load: ingesting %d users x %d releases (batches of %d)\n", cfg.users, cfg.steps, cfg.batch)
-	var (
-		wg        sync.WaitGroup
-		ingestLat latencyRecorder
-		errOnce   sync.Once
-		firstErr  error
-	)
-	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
-	ctx := context.Background()
-	start := time.Now()
-	for u := 0; u < cfg.users; u++ {
-		wg.Add(1)
-		go func(user int) {
-			defer wg.Done()
-			client := server.NewClient(base, hc)
-			// Warm the policy cache untimed: the first report otherwise
-			// carries a GET /v2/policy (a whole policy-graph marshal),
-			// and under the initial burst that fetch storm — identical
-			// in sync and async mode — would dominate the percentiles.
-			if _, err := client.PolicyContext(ctx, user); err != nil {
-				fail(fmt.Errorf("user %d policy warmup: %w", user, err))
-				return
-			}
-			rng := rand.New(rand.NewPCG(uint64(user), 42))
-			for t0 := 0; t0 < cfg.steps; t0 += cfg.batch {
-				n := cfg.batch
-				if t0+n > cfg.steps {
-					n = cfg.steps - t0
-				}
-				releases := make([]wire.Release, n)
-				for i := range releases {
-					releases[i] = wire.Release{
-						T: t0 + i,
-						X: rng.Float64() * 32, Y: rng.Float64() * 32,
-					}
-				}
-				reqStart := time.Now()
-				var err error
-				if cfg.async {
-					var ack server.AsyncAck
-					ack, err = client.ReportBatchAsyncContext(ctx, user, releases)
-					if err == nil && ack.SyncFallback {
-						// Fail fast: labeling sync latencies as async ack
-						// percentiles would be exactly the wrong number.
-						fail(fmt.Errorf("-lasync: target server has async ingest disabled (sync fallback)"))
-						return
-					}
-				} else {
-					_, err = client.ReportBatchContext(ctx, user, releases)
-				}
-				if err != nil {
-					fail(fmt.Errorf("user %d batch at t=%d: %w", user, t0, err))
-					return
-				}
-				ingestLat.add(time.Since(reqStart))
-			}
-		}(u)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if firstErr != nil {
-		return firstErr
-	}
-	total := cfg.users * cfg.steps
-	fmt.Printf("load: ingested %d releases in %v (%.0f releases/sec)\n", total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds())
-	reqName := "POST /v2/reports"
-	if cfg.async {
-		reqName = "POST /v2/reports (ack)"
-	}
-	ingestLat.report(os.Stdout, reqName, cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
-	if cfg.async {
-		// Wait for the background drain so the analytics phase queries
-		// the full dataset; the wait itself measures drain lag.
-		// Bounded wait: on a shared server other clients keep the queue
-		// non-empty, and a wedged drain would never reach zero — turn
-		// either into a diagnosable error instead of hanging forever.
-		const drainStall = 30 * time.Second
-		mon := server.NewClient(base, hc)
-		drainStart := time.Now()
-		lastDepth, lastProgress := -1, time.Now()
-		for {
-			st, err := mon.IngestStatsContext(ctx)
-			if err != nil {
-				return fmt.Errorf("polling ingest stats: %w", err)
-			}
-			if !st.Enabled {
-				return fmt.Errorf("-lasync: target server has async ingest disabled")
-			}
-			if st.Depth == 0 {
-				fmt.Printf("load: ingest queue drained in %v after last ack (%d drained, %d rejected 429s, lag %.1fms)\n",
-					time.Since(drainStart).Round(time.Millisecond), st.Drained, st.Rejected, st.LagMS)
-				break
-			}
-			if st.Depth != lastDepth {
-				lastDepth, lastProgress = st.Depth, time.Now()
-			} else if time.Since(lastProgress) > drainStall {
-				return fmt.Errorf("-lasync: ingest queue stuck at depth %d for %v (shared server with other writers, or a wedged drain?)",
-					st.Depth, drainStall)
-			}
-			time.Sleep(10 * time.Millisecond)
+	// backpressure internally, honoring the server's hint). With
+	// -lbinary a JSON pass runs first over the same workload so the
+	// encoding comparison shares everything else (the binary pass then
+	// replaces each (user, t) record — same record count, same shards).
+	if cfg.binary {
+		jsonRes, err := runIngestPhase(cfg, base, hc, false)
+		if err != nil {
+			return err
 		}
+		binRes, err := runIngestPhase(cfg, base, hc, true)
+		if err != nil {
+			return err
+		}
+		total := float64(cfg.users * cfg.steps)
+		jAllocs, bAllocs := float64(jsonRes.mallocs)/total, float64(binRes.mallocs)/total
+		ratio := 0.0
+		if bAllocs > 0 {
+			ratio = jAllocs / bAllocs
+		}
+		scope := "process-wide: client+server"
+		if cfg.url != "" {
+			scope = "client side only (-url targets a separate process)"
+		}
+		fmt.Printf("load: binary vs JSON: %.0f vs %.0f releases/sec, allocs/release %.1f vs %.1f (%.1fx fewer, %s)\n",
+			float64(cfg.users*cfg.steps)/binRes.elapsed.Seconds(),
+			float64(cfg.users*cfg.steps)/jsonRes.elapsed.Seconds(),
+			bAllocs, jAllocs, ratio, scope)
+	} else if _, err := runIngestPhase(cfg, base, hc, false); err != nil {
+		return err
 	}
 	if walStore != nil {
 		if err := walStore.Sync(); err != nil {
@@ -279,6 +214,11 @@ func runLoad(cfg loadConfig) error {
 	// Phase 2: analytics queries. Repeated shapes hit the engine cache;
 	// the first of each shape computes it.
 	fmt.Printf("load: running %d queries per analytics endpoint\n", cfg.queries)
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
 	endpoints := []struct {
 		name string
 		lat  *latencyRecorder
@@ -325,6 +265,148 @@ func runLoad(cfg loadConfig) error {
 		ep.lat.report(os.Stdout, ep.name, conc*per)
 	}
 	return nil
+}
+
+// ingestResult summarizes one ingest pass.
+type ingestResult struct {
+	elapsed time.Duration
+	// mallocs is the process-wide heap allocation count over the pass
+	// (drain wait included) — with an in-process server that is the full
+	// client+server cost of the encoding.
+	mallocs uint64
+}
+
+// runIngestPhase drives one full ingest pass (all users, all batches,
+// plus the drain wait in async mode) under the chosen encoding and
+// reports its duration and allocation count.
+func runIngestPhase(cfg loadConfig, base string, hc *http.Client, binary bool) (ingestResult, error) {
+	encoding := "json"
+	if binary {
+		encoding = "binary"
+	}
+	fmt.Printf("load: ingesting %d users x %d releases (batches of %d, %s encoding)\n",
+		cfg.users, cfg.steps, cfg.batch, encoding)
+	var (
+		wg        sync.WaitGroup
+		ingestLat latencyRecorder
+		errOnce   sync.Once
+		firstErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	ctx := context.Background()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for u := 0; u < cfg.users; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			client := server.NewClient(base, hc)
+			// Warm the policy cache untimed: the first report otherwise
+			// carries a GET /v2/policy (a whole policy-graph marshal),
+			// and under the initial burst that fetch storm — identical
+			// in sync and async mode — would dominate the percentiles.
+			if _, err := client.PolicyContext(ctx, user); err != nil {
+				fail(fmt.Errorf("user %d policy warmup: %w", user, err))
+				return
+			}
+			rng := rand.New(rand.NewPCG(uint64(user), 42))
+			for t0 := 0; t0 < cfg.steps; t0 += cfg.batch {
+				n := cfg.batch
+				if t0+n > cfg.steps {
+					n = cfg.steps - t0
+				}
+				releases := make([]wire.Release, n)
+				for i := range releases {
+					releases[i] = wire.Release{
+						T: t0 + i,
+						X: rng.Float64() * 32, Y: rng.Float64() * 32,
+					}
+				}
+				reqStart := time.Now()
+				var err error
+				switch {
+				case cfg.async:
+					var ack server.AsyncAck
+					if binary {
+						ack, err = client.ReportBatchBinaryAsyncContext(ctx, user, releases)
+					} else {
+						ack, err = client.ReportBatchAsyncContext(ctx, user, releases)
+					}
+					if err == nil && ack.SyncFallback {
+						// Fail fast: labeling sync latencies as async ack
+						// percentiles would be exactly the wrong number.
+						fail(fmt.Errorf("-lasync: target server has async ingest disabled (sync fallback)"))
+						return
+					}
+				case binary:
+					_, err = client.ReportBatchBinaryContext(ctx, user, releases)
+				default:
+					_, err = client.ReportBatchContext(ctx, user, releases)
+				}
+				if err != nil {
+					fail(fmt.Errorf("user %d batch at t=%d: %w", user, t0, err))
+					return
+				}
+				ingestLat.add(time.Since(reqStart))
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ingestResult{}, firstErr
+	}
+	total := cfg.users * cfg.steps
+	fmt.Printf("load: ingested %d releases in %v (%.0f releases/sec)\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	reqName := "POST /v2/reports"
+	if cfg.async {
+		reqName = "POST /v2/reports (ack)"
+	}
+	ingestLat.report(os.Stdout, reqName, cfg.users*((cfg.steps+cfg.batch-1)/cfg.batch))
+	if cfg.async {
+		if err := awaitDrain(ctx, base, hc); err != nil {
+			return ingestResult{}, err
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	return ingestResult{elapsed: elapsed, mallocs: ms1.Mallocs - ms0.Mallocs}, nil
+}
+
+// awaitDrain waits for the async ingest queue (or, through the router,
+// every node's queue) to empty so the analytics phase queries the full
+// dataset; the wait itself measures drain lag. Bounded wait: on a shared
+// server other clients keep the queue non-empty, and a wedged drain
+// would never reach zero — turn either into a diagnosable error instead
+// of hanging forever.
+func awaitDrain(ctx context.Context, base string, hc *http.Client) error {
+	const drainStall = 30 * time.Second
+	mon := server.NewClient(base, hc)
+	drainStart := time.Now()
+	lastDepth, lastProgress := -1, time.Now()
+	for {
+		st, err := mon.IngestStatsContext(ctx)
+		if err != nil {
+			return fmt.Errorf("polling ingest stats: %w", err)
+		}
+		if !st.Enabled {
+			return fmt.Errorf("-lasync: target server has async ingest disabled")
+		}
+		if st.Depth == 0 {
+			fmt.Printf("load: ingest queue drained in %v after last ack (%d drained, %d rejected 429s, lag %.1fms)\n",
+				time.Since(drainStart).Round(time.Millisecond), st.Drained, st.Rejected, st.LagMS)
+			return nil
+		}
+		if st.Depth != lastDepth {
+			lastDepth, lastProgress = st.Depth, time.Now()
+		} else if time.Since(lastProgress) > drainStall {
+			return fmt.Errorf("-lasync: ingest queue stuck at depth %d for %v (shared server with other writers, or a wedged drain?)",
+				st.Depth, drainStall)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // startLoadCluster brings up cfg.cluster in-process panda-server nodes

@@ -45,6 +45,15 @@
 //
 //	panda-bench -load -lcluster 2
 //	panda-bench -load -lcluster 4 -ldurable -lasync
+//
+// -lbinary reports in the binary record format
+// (application/x-panda-records) after a JSON baseline pass over the
+// same workload, printing the ingest-rate and allocations-per-release
+// comparison. Composes with -lasync, -ldurable, -lstripes and
+// -lcluster:
+//
+//	panda-bench -load -lbinary
+//	panda-bench -load -lbinary -lasync -ldurable
 package main
 
 import (
@@ -77,6 +86,7 @@ func main() {
 		lAsync   = flag.Bool("lasync", false, "load: report via async ingestion (202 early acks, background drain)")
 		lStripes = flag.String("lstripes", "16", "load: WAL stripes / store shards; a comma list (e.g. 1,4,8) sweeps the ingest run per count")
 		lCluster = flag.Int("lcluster", 0, "load: run N in-process nodes behind an in-process cluster router (0 = single server)")
+		lBinary  = flag.Bool("lbinary", false, "load: report in the binary record format after a JSON baseline pass, printing the rate and allocs/release comparison")
 	)
 	flag.Parse()
 
@@ -93,6 +103,7 @@ func main() {
 		cfg := loadConfig{
 			url: *loadURL, users: *lUsers, steps: *lSteps, batch: *lBatch, queries: *lQueries,
 			durable: *lDurable, dir: *lDir, fsync: *lFsync, async: *lAsync, cluster: *lCluster,
+			binary: *lBinary,
 		}
 		if cfg.users < 1 || cfg.steps < 1 || cfg.batch < 1 || cfg.queries < 1 {
 			fmt.Fprintln(os.Stderr, "panda-bench: -lusers, -lsteps, -lbatch, -lqueries must be >= 1")

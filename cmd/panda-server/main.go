@@ -32,9 +32,16 @@
 // With -async-ingest, POST /v2/reports?mode=async batches are validated,
 // queued and acknowledged with 202 before they reach the store; a full
 // queue answers 429 with a retry hint, and /v2/ingest/stats exposes the
-// queue's depth and drain counters. Graceful shutdown drains the queue
-// (within -shutdown-grace) before the store closes, so every
-// acknowledged record is applied — and durable when -data-dir is set.
+// queue's depth and drain counters. -ingest-user-cap bounds how many
+// records one user may have pending (default half the queue; negative
+// disables) so a hot client cannot starve everyone else's acks.
+// Graceful shutdown drains the queue (within -shutdown-grace) before
+// the store closes, so every acknowledged record is applied — and
+// durable when -data-dir is set.
+//
+// POST /v2/reports also accepts the binary record format
+// (Content-Type: application/x-panda-records; see API.md) — the same
+// 48-byte frames the WAL appends, decoded without JSON materialization.
 package main
 
 import (
@@ -95,6 +102,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		asyncIngest = fs.Bool("async-ingest", false, "enable POST /v2/reports?mode=async: early 202 acks, background drain")
 		ingWorkers  = fs.Int("ingest-workers", 0, "async ingest drain workers (0 = GOMAXPROCS)")
 		ingDepth    = fs.Int("ingest-queue", 0, "async ingest queue bound in records (0 = default 65536)")
+		ingUserCap  = fs.Int("ingest-user-cap", 0, "async ingest per-user pending budget in records (0 = half the queue, negative = disabled)")
 
 		clusterRing = fs.String("cluster-ring", "", "ring config file; with -cluster-node, pins this node's ring identity")
 		clusterNode = fs.String("cluster-node", "", "this node's name in the -cluster-ring file")
@@ -206,9 +214,10 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		return err
 	}
 	srv, err := server.NewServerOpts(db, mgr, server.Options{
-		AsyncIngest:      *asyncIngest,
-		IngestWorkers:    *ingWorkers,
-		IngestQueueDepth: *ingDepth,
+		AsyncIngest:          *asyncIngest,
+		IngestWorkers:        *ingWorkers,
+		IngestQueueDepth:     *ingDepth,
+		IngestMaxUserPending: *ingUserCap,
 	})
 	if err != nil {
 		return err

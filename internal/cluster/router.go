@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
@@ -190,7 +191,10 @@ func (f *fail) write(w http.ResponseWriter, rt *Router) {
 // transport outcome into the node's health state: transport errors mark
 // it down (so the next request fails fast), any answer marks it up.
 // Returns the buffered reply, or a fail.
-func (rt *Router) callNode(ctx context.Context, i int, method, path string, body []byte) (*reply, *fail) {
+// Bodies are forwarded under contentType, so binary report batches pass
+// through byte-identical (an empty contentType with a non-nil body falls
+// back to JSON, which every other routed POST is).
+func (rt *Router) callNode(ctx context.Context, i int, method, path, contentType string, body []byte) (*reply, *fail) {
 	node, ns := &rt.ring.Nodes[i], rt.nodes[i]
 	ctx, cancel := context.WithTimeout(ctx, rt.reqTimeout)
 	defer cancel()
@@ -203,7 +207,10 @@ func (rt *Router) callNode(ctx context.Context, i int, method, path string, body
 		return nil, &fail{node: node, reason: fmt.Sprintf("building request: %v", err), gateway: true}
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if contentType == "" {
+			contentType = "application/json"
+		}
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := rt.hc.Do(req)
 	if err != nil {
@@ -230,7 +237,7 @@ func (rt *Router) callNode(ctx context.Context, i int, method, path string, body
 // decode into T becomes a 502.
 func callNodeJSON[T any](rt *Router, ctx context.Context, i int, method, path string, body []byte) (T, *fail) {
 	var out T
-	rep, f := rt.callNode(ctx, i, method, path, body)
+	rep, f := rt.callNode(ctx, i, method, path, "", body)
 	if f != nil {
 		return out, f
 	}
@@ -283,15 +290,16 @@ func pathWithQuery(r *http.Request) string {
 }
 
 // proxyUser forwards the request to the node owning user, buffering
-// body (nil for GETs) and copying the node's answer back verbatim.
-func (rt *Router) proxyUser(w http.ResponseWriter, r *http.Request, user int, path string, body []byte) {
+// body (nil for GETs, forwarded under contentType otherwise) and
+// copying the node's answer back verbatim.
+func (rt *Router) proxyUser(w http.ResponseWriter, r *http.Request, user int, path, contentType string, body []byte) {
 	i := rt.ring.OwnerIndex(user)
 	node := &rt.ring.Nodes[i]
 	if up, reason, _ := rt.nodes[i].snapshot(); !up {
 		rt.failDown(w, node, reason)
 		return
 	}
-	rep, f := rt.callNode(r.Context(), i, r.Method, path, body)
+	rep, f := rt.callNode(r.Context(), i, r.Method, path, contentType, body)
 	if f != nil {
 		f.write(w, rt)
 		return
@@ -327,14 +335,30 @@ func (rt *Router) handleUserProxy(w http.ResponseWriter, r *http.Request) {
 		routerError(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
-	rt.proxyUser(w, r, user, pathWithQuery(r), nil)
+	rt.proxyUser(w, r, user, pathWithQuery(r), "", nil)
 }
 
 // handleReports peeks the routing key out of the batch body and
 // forwards the raw bytes — the router never re-encodes a batch, so the
 // owning node sees exactly what the client sent (mode query parameter
-// included; async early-acks work through the router unchanged).
+// included; async early-acks work through the router unchanged). The
+// peek is content-type aware: JSON bodies are peeked with a partial
+// unmarshal, binary bodies read the user out of the fixed header (24
+// bytes, no parsing of the frames) and pass through byte-identical.
+// Unknown content types are refused with 415 before the owning node is
+// dialed.
 func (rt *Router) handleReports(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	mediaType := ""
+	if ct != "" {
+		mediaType, _, _ = mime.ParseMediaType(ct)
+	}
+	binary := mediaType == wire.ContentTypeBinary
+	if !binary && ct != "" && mediaType != "application/json" {
+		routerError(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia,
+			"unsupported Content-Type %q (want application/json or %s)", ct, wire.ContentTypeBinary)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
 	if err != nil {
 		routerError(w, http.StatusBadRequest, wire.CodeBadRequest, "reading batch report: %v", err)
@@ -345,6 +369,15 @@ func (rt *Router) handleReports(w http.ResponseWriter, r *http.Request) {
 			"batch report exceeds the router's %d-byte body limit", maxProxyBody)
 		return
 	}
+	if binary {
+		user, err := wire.PeekBinaryReportUser(body)
+		if err != nil {
+			routerError(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
+			return
+		}
+		rt.proxyUser(w, r, user, pathWithQuery(r), ct, body)
+		return
+	}
 	var peek struct {
 		User int `json:"user"`
 	}
@@ -352,7 +385,7 @@ func (rt *Router) handleReports(w http.ResponseWriter, r *http.Request) {
 		routerError(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
 		return
 	}
-	rt.proxyUser(w, r, peek.User, pathWithQuery(r), body)
+	rt.proxyUser(w, r, peek.User, pathWithQuery(r), ct, body)
 }
 
 // resolveNow returns the cluster-wide anchor timestep: the max of every
@@ -400,7 +433,7 @@ func (rt *Router) handleHealthCode(w http.ResponseWriter, r *http.Request) {
 		f.write(w, rt)
 		return
 	}
-	rt.proxyUser(w, r, user, path, nil)
+	rt.proxyUser(w, r, user, path, "", nil)
 }
 
 // handleInfected broadcasts the infection notice to every node — each
@@ -537,6 +570,12 @@ func (rt *Router) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 		merged.Drained += resp.Drained
 		merged.Dropped += resp.Dropped
 		merged.Rejected += resp.Rejected
+		merged.Throttled += resp.Throttled
+		// Budgets are enforced per node, not cluster-wide; report the
+		// largest so operators see the loosest bound a user can hit.
+		if resp.UserCap > merged.UserCap {
+			merged.UserCap = resp.UserCap
+		}
 		if resp.LagMS > merged.LagMS {
 			merged.LagMS = resp.LagMS
 		}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// replayBody is a rewindable request body, so the benchmark re-sends
+// the same bytes without allocating a reader per request.
+type replayBody struct{ *bytes.Reader }
+
+// Close satisfies io.ReadCloser; there is nothing to release.
+func (replayBody) Close() error { return nil }
+
+// benchAllocReleases is the batch size of the allocation benchmark —
+// large enough that per-record costs dominate per-request overhead,
+// small enough to stay in the pooled buffer classes.
+const benchAllocReleases = 512
+
+// BenchmarkIngestAllocs pins the allocation profile of the two report
+// encodings, bypassing the network (httptest.NewRecorder straight into
+// the handler) so allocs/op is the server-side cost alone. The binary
+// path must stay at least 2× under JSON: it skips the
+// wire.BatchReportRequest materialization entirely and decodes frames
+// into a pooled record slice. CI captures this as
+// bench-ingest-allocs.txt; a JSON-vs-binary regression shows up as the
+// ratio collapsing, not just as a slower ns/op.
+func BenchmarkIngestAllocs(b *testing.B) {
+	grid := geo.MustGrid(32, 32, 1)
+	mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(NewShardedDB(grid, 4), mgr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	releases := make([]wire.Release, benchAllocReleases)
+	for i := range releases {
+		p := grid.Center(i % grid.NumCells())
+		releases[i] = wire.Release{T: i, X: p.X, Y: p.Y}
+	}
+	jsonBody, err := json.Marshal(wire.BatchReportRequest{User: 1, PolicyVersion: 1, Releases: releases})
+	if err != nil {
+		b.Fatal(err)
+	}
+	binBody := wire.AppendBinaryReport(nil, 1, 1, releases)
+
+	// The request scaffolding (URL, header, body reader) is built once
+	// and reused so the measured allocs/op is the handler's own cost,
+	// not httptest's per-request setup.
+	reportsURL, err := url.Parse("/v2/reports")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, contentType string, body []byte) {
+		b.Helper()
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		hdr := http.Header{"Content-Type": []string{contentType}}
+		rd := &replayBody{Reader: bytes.NewReader(body)}
+		for i := 0; i < b.N; i++ {
+			rd.Reset(body)
+			req := &http.Request{
+				Method: http.MethodPost, URL: reportsURL, Header: hdr,
+				Body: rd, ContentLength: int64(len(body)),
+			}
+			w := httptest.NewRecorder()
+			handler.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("json", func(b *testing.B) { run(b, "application/json", jsonBody) })
+	b.Run("binary", func(b *testing.B) { run(b, wire.ContentTypeBinary, binBody) })
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policy"
+	"github.com/pglp/panda/internal/server/ingest"
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// postRaw POSTs body under an explicit Content-Type and returns status +
+// decoded error envelope (zero-valued on 2xx).
+func postRaw(t *testing.T, base, path, contentType string, body []byte) (int, wire.Error) {
+	t.Helper()
+	resp, err := http.Post(base+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e wire.Error
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, e
+}
+
+// TestBinaryJSONEquivalence sends the same releases through the JSON
+// and binary report paths and checks the stored state is identical:
+// same cells, bit-identical coordinates, same accepted/replaced
+// accounting — the negotiated encoding must be an optimization, never a
+// semantic fork.
+func TestBinaryJSONEquivalence(t *testing.T) {
+	srv, client, grid, done := newTestServer(t)
+	defer done()
+
+	releases := []wire.Release{
+		{T: 0, X: grid.Center(1).X, Y: grid.Center(1).Y},
+		{T: 1, X: 1.25, Y: 2.75},
+		{T: 2, X: 0.1234567890123, Y: 3.9876543210987},
+	}
+	jr, err := client.ReportBatch(1, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := client.ReportBatchBinary(2, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr != br {
+		t.Errorf("responses diverge: json=%+v binary=%+v", jr, br)
+	}
+	if br.Accepted != len(releases) || br.Replaced != 0 {
+		t.Errorf("binary first send: %+v, want accepted=%d replaced=0", br, len(releases))
+	}
+
+	jrecs := srv.db.UserRecords(1)
+	brecs := srv.db.UserRecords(2)
+	if len(jrecs) != len(brecs) {
+		t.Fatalf("record counts diverge: json=%d binary=%d", len(jrecs), len(brecs))
+	}
+	for i := range jrecs {
+		j, b := jrecs[i], brecs[i]
+		if j.T != b.T || j.Cell != b.Cell || j.PolicyVersion != b.PolicyVersion {
+			t.Errorf("record %d diverges: json=%+v binary=%+v", i, j, b)
+		}
+		if math.Float64bits(j.Point.X) != math.Float64bits(b.Point.X) ||
+			math.Float64bits(j.Point.Y) != math.Float64bits(b.Point.Y) {
+			t.Errorf("record %d coordinates not bit-identical: json=%v binary=%v", i, j.Point, b.Point)
+		}
+	}
+
+	// Re-send: the (user, t) replace semantics must hold on the binary
+	// path too.
+	br2, err := client.ReportBatchBinary(2, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br2.Accepted != 0 || br2.Replaced != len(releases) {
+		t.Errorf("binary re-send: %+v, want accepted=0 replaced=%d", br2, len(releases))
+	}
+}
+
+// TestBinaryContentNegotiation pins the negotiation matrix of
+// POST /v2/reports: JSON by default, binary by content type (parameters
+// tolerated), everything else 415 with the machine-readable code.
+func TestBinaryContentNegotiation(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+	base := client.baseURL()
+
+	p := grid.Center(3)
+	binBody := wire.AppendBinaryReport(nil, 5, 1, []wire.Release{{T: 0, X: p.X, Y: p.Y}})
+
+	cases := []struct {
+		name, ct string
+		body     []byte
+		status   int
+		code     string
+	}{
+		{"binary ok", wire.ContentTypeBinary, binBody, http.StatusOK, ""},
+		{"binary with params", wire.ContentTypeBinary + "; v=1", binBody, http.StatusOK, ""},
+		{"csv rejected", "text/csv", binBody, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia},
+		{"json ct with binary body", "application/json", binBody, http.StatusBadRequest, wire.CodeBadRequest},
+		{"binary ct with json body", wire.ContentTypeBinary,
+			[]byte(`{"user":5,"policy_version":1,"releases":[{"t":0,"x":0,"y":0}]}`),
+			http.StatusBadRequest, wire.CodeBadRequest},
+		{"binary truncated", wire.ContentTypeBinary, binBody[:len(binBody)-3],
+			http.StatusBadRequest, wire.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		status, e := postRaw(t, base, "/v2/reports", tc.ct, tc.body)
+		if status != tc.status || e.Code != tc.code {
+			t.Errorf("%s: status=%d code=%q (%s), want %d %q", tc.name, status, e.Code, e.Error, tc.status, tc.code)
+		}
+	}
+
+	// The 415 must name both acceptable types, so a misconfigured client
+	// can fix itself from the message alone.
+	_, e := postRaw(t, base, "/v2/reports", "text/plain", []byte("hi"))
+	if !strings.Contains(e.Error, "application/json") || !strings.Contains(e.Error, wire.ContentTypeBinary) {
+		t.Errorf("415 message %q does not name the acceptable content types", e.Error)
+	}
+}
+
+// TestBinaryStaleAndConsent drives the protocol error paths through the
+// binary encoding: version 0 refused, stale version renegotiates with
+// the policy inline, non-consenting user 403s.
+func TestBinaryStaleAndConsent(t *testing.T) {
+	srv, client, grid, done := newTestServer(t)
+	defer done()
+	base := client.baseURL()
+
+	p := grid.Center(2)
+	rel := []wire.Release{{T: 0, X: p.X, Y: p.Y}}
+
+	status, e := postRaw(t, base, "/v2/reports", wire.ContentTypeBinary, wire.AppendBinaryReport(nil, 3, 99, rel))
+	if status != http.StatusConflict || e.Code != wire.CodeStalePolicy {
+		t.Errorf("stale version: status=%d code=%q, want 409 %q", status, e.Code, wire.CodeStalePolicy)
+	}
+	if e.Policy == nil || e.Policy.Version != 1 {
+		t.Errorf("stale 409 should carry the current policy inline, got %+v", e.Policy)
+	}
+
+	srv.mgr.Get(7)
+	srv.mgr.Consent(7, false)
+	status, e = postRaw(t, base, "/v2/reports", wire.ContentTypeBinary, wire.AppendBinaryReport(nil, 7, 1, rel))
+	if status != http.StatusForbidden || e.Code != wire.CodeConsent {
+		t.Errorf("no consent: status=%d code=%q, want 403 %q", status, e.Code, wire.CodeConsent)
+	}
+}
+
+// TestBinaryClientRenegotiation bumps the policy behind the client's
+// back and checks the binary path re-encodes the batch under the new
+// version — unlike JSON, the version lives in every frame, so the retry
+// must rebuild the body, not just patch a field.
+func TestBinaryClientRenegotiation(t *testing.T) {
+	_, client, grid, done := newTestServer(t)
+	defer done()
+
+	if _, err := client.ReportBatchBinary(0, []wire.Release{{T: 0, X: grid.Center(1).X, Y: grid.Center(1).Y}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.MarkInfected([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.ReportBatchBinary(0, []wire.Release{{T: 1, X: grid.Center(2).X, Y: grid.Center(2).Y}})
+	if err != nil {
+		t.Fatalf("binary report after policy bump should auto-renegotiate, got %v", err)
+	}
+	if res.PolicyVersion != 2 {
+		t.Errorf("accepted under version %d, want 2", res.PolicyVersion)
+	}
+	if cp, ok := client.CachedPolicy(0); !ok || cp.Version != 2 {
+		t.Errorf("cached policy = %+v, want version 2", cp)
+	}
+	if recs, _ := client.Records(0); len(recs) != 2 {
+		t.Errorf("records = %d, want 2 (renegotiation must not drop the report)", len(recs))
+	}
+}
+
+// TestBinaryAsyncIngest drives a binary batch through the async queue:
+// 202 early ack, then the drained records match what was sent bit for
+// bit.
+func TestBinaryAsyncIngest(t *testing.T) {
+	srv, client, grid, done := newAsyncTestServer(t, 0)
+	defer done()
+
+	releases := []wire.Release{
+		{T: 0, X: grid.Center(1).X, Y: grid.Center(1).Y},
+		{T: 1, X: 2.5, Y: 1.5},
+	}
+	ack, err := client.ReportBatchBinaryAsync(11, releases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Queued != len(releases) || ack.SyncFallback {
+		t.Fatalf("ack = %+v, want queued=%d sync_fallback=false", ack, len(releases))
+	}
+	waitDrained(t, srv)
+	recs := srv.db.UserRecords(11)
+	if len(recs) != len(releases) {
+		t.Fatalf("drained records = %d, want %d", len(recs), len(releases))
+	}
+	for i, rel := range releases {
+		if math.Float64bits(recs[i].Point.X) != math.Float64bits(rel.X) ||
+			math.Float64bits(recs[i].Point.Y) != math.Float64bits(rel.Y) {
+			t.Errorf("record %d coordinates not bit-identical: sent (%v,%v), stored %v",
+				i, rel.X, rel.Y, recs[i].Point)
+		}
+		if recs[i].Cell != grid.Snap(geo.Pt(rel.X, rel.Y)) {
+			t.Errorf("record %d cell = %d, want snapped %d", i, recs[i].Cell, grid.Snap(geo.Pt(rel.X, rel.Y)))
+		}
+	}
+}
+
+// TestFairnessHTTP floods the async endpoint from one hot user until it
+// is throttled and checks a well-behaved user still gets a 202 — the
+// per-user budget protects the queue's remaining capacity instead of
+// letting one client starve everyone.
+func TestFairnessHTTP(t *testing.T) {
+	grid := geo.MustGrid(4, 4, 1)
+	mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDBOn(grid, NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &gatedSink{gate: make(chan struct{})}
+	q, err := ingest.New(sink, ingest.Config{Workers: 1, QueueDepth: 100, MaxApply: 1, MaxUserPending: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{db: db, mgr: mgr, queue: q}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		close(sink.gate)
+		srv.DrainIngest(context.Background())
+	}()
+
+	p := grid.Center(5)
+	report := func(user int, t0 int) []byte {
+		return wire.AppendBinaryReport(nil, user, 1, []wire.Release{{T: t0, X: p.X, Y: p.Y}})
+	}
+
+	// Flood from the hot user until the fairness budget throttles it.
+	throttled := false
+	for i := 0; i < 50 && !throttled; i++ {
+		status, e := postRaw(t, ts.URL, "/v2/reports?mode=async", wire.ContentTypeBinary, report(1, i))
+		switch status {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			if e.Code != wire.CodeQueueFull {
+				t.Fatalf("throttle code = %q, want %q", e.Code, wire.CodeQueueFull)
+			}
+			if e.RetryAfterMS <= 0 {
+				t.Errorf("throttle carries no retry hint: %+v", e)
+			}
+			throttled = true
+		default:
+			t.Fatalf("hot user got status %d (%+v)", status, e)
+		}
+	}
+	if !throttled {
+		t.Fatal("hot user was never throttled despite MaxUserPending=8")
+	}
+
+	// A different user must still be admitted: the queue has 90+ free
+	// slots, only the hot user's budget is exhausted.
+	status, e := postRaw(t, ts.URL, "/v2/reports?mode=async", wire.ContentTypeBinary, report(2, 0))
+	if status != http.StatusAccepted {
+		t.Fatalf("well-behaved user got status %d (%+v), want 202", status, e)
+	}
+
+	// The stats surface must attribute the rejections to the fairness
+	// budget.
+	st := srv.Ingest().Stats()
+	if st.Throttled == 0 || st.Throttled > st.Rejected {
+		t.Errorf("throttled = %d (rejected = %d), want 0 < throttled <= rejected", st.Throttled, st.Rejected)
+	}
+	if st.UserCap != 8 {
+		t.Errorf("user cap = %d, want 8", st.UserCap)
+	}
+
+	// A single batch larger than the per-user budget can never be queued
+	// — that must be a terminal 413, not a retriable 429.
+	big := make([]wire.Release, 9)
+	for i := range big {
+		big[i] = wire.Release{T: 100 + i, X: p.X, Y: p.Y}
+	}
+	status, e = postRaw(t, ts.URL, "/v2/reports?mode=async", wire.ContentTypeBinary,
+		wire.AppendBinaryReport(nil, 3, 1, big))
+	if status != http.StatusRequestEntityTooLarge || e.Code != wire.CodeBadRequest {
+		t.Errorf("over-budget batch: status=%d code=%q, want 413 %q", status, e.Code, wire.CodeBadRequest)
+	}
+}

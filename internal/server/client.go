@@ -143,21 +143,32 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do performs one API request with retry: transport errors and 5xx
-// responses are retried up to MaxAttempts with jittered exponential
-// backoff, and responses carrying a retry hint — 429 async-ingest
-// backpressure (retry_after_ms) and 503s with a Retry-After header
-// (e.g. the cluster router's node_unavailable) — are retried after the
-// hint instead of the backoff curve; everything else is decoded (into
-// out or an *APIError) and returned as-is.
+// do performs one JSON API request with retry; see doBytes for the
+// retry contract.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var data []byte
+	contentType := ""
 	if body != nil {
 		var err error
 		if data, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("server client: encoding request: %w", err)
 		}
+		contentType = "application/json"
 	}
+	return c.doBytes(ctx, method, path, contentType, data, out)
+}
+
+// doBytes performs one API request with a pre-encoded body (sent with
+// contentType; an empty contentType means no body) and retry: transport
+// errors and 5xx responses are retried up to MaxAttempts with jittered
+// exponential backoff, and responses carrying a retry hint — 429
+// async-ingest backpressure (retry_after_ms) and 503s with a
+// Retry-After header (e.g. the cluster router's node_unavailable) — are
+// retried after the hint instead of the backoff curve; everything else
+// is decoded (into out or an *APIError) and returned as-is. Taking
+// bytes rather than a value keeps the binary report path re-sendable
+// across retries without re-encoding.
+func (c *Client) doBytes(ctx context.Context, method, path, contentType string, data []byte, out any) error {
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -192,15 +203,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			}
 		}
 		var rd io.Reader
-		if body != nil {
+		if contentType != "" {
 			rd = bytes.NewReader(data)
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return fmt.Errorf("server client: %s %s: %w", method, path, err)
 		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -458,6 +469,79 @@ func (c *Client) ReportBatchAsyncContext(ctx context.Context, user int, releases
 		err = c.post(ctx, "/v2/reports?mode=async", req, &out)
 	}
 	if err != nil {
+		return AsyncAck{}, err
+	}
+	ack := AsyncAck{PolicyVersion: out.PolicyVersion}
+	switch {
+	case out.Queued != nil:
+		ack.Queued, ack.QueueDepth = *out.Queued, out.QueueDepth
+	case out.Accepted != nil:
+		ack.Queued, ack.SyncFallback = *out.Accepted+out.Replaced, true
+	default:
+		return AsyncAck{}, fmt.Errorf("server client: unrecognized report acknowledgement")
+	}
+	return ack, nil
+}
+
+// binaryBufs pools the encode buffers of the binary report path so a
+// client looping over batches reuses one buffer instead of allocating a
+// body per send.
+var binaryBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
+
+// reportBinary encodes the batch in the binary record format and POSTs
+// it, renegotiating once on a stale policy (re-encoding under the new
+// version — the frames carry the version, so unlike the JSON path the
+// body itself must be rebuilt).
+func (c *Client) reportBinary(ctx context.Context, user int, releases []wire.Release, path string, out any) error {
+	ver, err := c.policyVersion(ctx, user)
+	if err != nil {
+		return err
+	}
+	bp := binaryBufs.Get().(*[]byte)
+	defer func() { *bp = (*bp)[:0]; binaryBufs.Put(bp) }()
+	*bp = wire.AppendBinaryReport((*bp)[:0], user, ver, releases)
+	err = c.doBytes(ctx, http.MethodPost, path, wire.ContentTypeBinary, *bp, out)
+	if err != nil && c.adoptStalePolicy(user, err) {
+		ver, _ = c.policyVersion(ctx, user)
+		*bp = wire.AppendBinaryReport((*bp)[:0], user, ver, releases)
+		err = c.doBytes(ctx, http.MethodPost, path, wire.ContentTypeBinary, *bp, out)
+	}
+	return err
+}
+
+// ReportBatchBinary is ReportBatch over the binary record format
+// (Content-Type application/x-panda-records): the same synchronous
+// semantics and stale-policy renegotiation, but the batch is framed
+// client-side into the store's 48-byte record layout, so the server
+// ingests it without JSON materialization. Prefer it for hot ingest
+// loops; the JSON path remains the default for debuggability.
+func (c *Client) ReportBatchBinary(user int, releases []wire.Release) (wire.BatchReportResponse, error) {
+	return c.ReportBatchBinaryContext(context.Background(), user, releases)
+}
+
+// ReportBatchBinaryContext is ReportBatchBinary under an explicit
+// context.
+func (c *Client) ReportBatchBinaryContext(ctx context.Context, user int, releases []wire.Release) (wire.BatchReportResponse, error) {
+	var out wire.BatchReportResponse
+	if err := c.reportBinary(ctx, user, releases, "/v2/reports", &out); err != nil {
+		return wire.BatchReportResponse{}, err
+	}
+	return out, nil
+}
+
+// ReportBatchBinaryAsync is ReportBatchAsync over the binary record
+// format: early acknowledgement plus the zero-materialization ingest
+// path. Backpressure and renegotiation behave exactly like
+// ReportBatchAsync.
+func (c *Client) ReportBatchBinaryAsync(user int, releases []wire.Release) (AsyncAck, error) {
+	return c.ReportBatchBinaryAsyncContext(context.Background(), user, releases)
+}
+
+// ReportBatchBinaryAsyncContext is ReportBatchBinaryAsync under an
+// explicit context.
+func (c *Client) ReportBatchBinaryAsyncContext(ctx context.Context, user int, releases []wire.Release) (AsyncAck, error) {
+	var out asyncOrSyncResponse
+	if err := c.reportBinary(ctx, user, releases, "/v2/reports?mode=async", &out); err != nil {
 		return AsyncAck{}, err
 	}
 	ack := AsyncAck{PolicyVersion: out.PolicyVersion}

@@ -106,6 +106,24 @@ func (db *DB) ValidateBatch(recs []Record) ([]Record, error) {
 	return normalized, nil
 }
 
+// ValidateBatchInPlace is ValidateBatch without the defensive copy:
+// records are normalized (cells snapped) directly in recs. It exists
+// for the zero-allocation ingest path, where the handler already owns
+// the (pooled) slice outright and a copy would defeat the pooling. The
+// batch is atomic with respect to validation — on error, some records
+// may already be normalized, but the error means the batch must not be
+// stored anyway.
+func (db *DB) ValidateBatchInPlace(recs []Record) error {
+	for i := range recs {
+		r, err := db.validate(recs[i])
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		recs[i] = r
+	}
+	return nil
+}
+
 // InsertBatch validates every record first and then stores them all —
 // the batch-ingest path of POST /v2/reports. The batch is atomic with
 // respect to validation: if any record is invalid, nothing is stored.

@@ -52,6 +52,12 @@ type Options struct {
 	// IngestQueueDepth bounds the queue in records; <= 0 uses
 	// ingest.DefaultQueueDepth. Only meaningful with AsyncIngest.
 	IngestQueueDepth int
+	// IngestMaxUserPending bounds one user's un-applied records in the
+	// queue — the fairness budget that keeps a hot client from starving
+	// everyone else into 429s. 0 defaults to half the queue depth;
+	// negative disables per-user accounting. Only meaningful with
+	// AsyncIngest.
+	IngestMaxUserPending int
 }
 
 // NewServer wires a database and a policy manager with async ingest
@@ -70,9 +76,29 @@ func NewServerOpts(db *DB, mgr *policy.Manager, o Options) (*Server, error) {
 	}
 	s := &Server{db: db, mgr: mgr}
 	if o.AsyncIngest {
+		depth := o.IngestQueueDepth
+		if depth <= 0 {
+			depth = ingest.DefaultQueueDepth
+		}
+		userCap := o.IngestMaxUserPending
+		switch {
+		case userCap == 0:
+			userCap = depth / 2
+		case userCap < 0:
+			userCap = 0
+		}
+		// Stripe-pin the drain workers when the store exposes its shard
+		// fan-out (sharded memory store, striped WAL): coalesced batches
+		// then stay within each worker's stripe subset.
+		shards := 0
+		if sh, ok := db.Store().(interface{ NumShards() int }); ok {
+			shards = sh.NumShards()
+		}
 		q, err := ingest.New(db.Store(), ingest.Config{
-			Workers:    o.IngestWorkers,
-			QueueDepth: o.IngestQueueDepth,
+			Workers:        o.IngestWorkers,
+			QueueDepth:     depth,
+			Shards:         shards,
+			MaxUserPending: userCap,
 		})
 		if err != nil {
 			return nil, err

@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/server/ingest"
+	"github.com/pglp/panda/internal/server/storage"
 	"github.com/pglp/panda/internal/server/storage/wal"
 	"github.com/pglp/panda/internal/server/wire"
 )
@@ -78,13 +82,58 @@ func (s *Server) wirePolicy(user int) (wire.Policy, error) {
 	return wire.Policy{User: user, Epsilon: up.Epsilon, Version: up.Version, Graph: graph}, nil
 }
 
+// handleV2Reports negotiates the batch-report encoding on Content-Type:
+// JSON (the default, including an absent header) or the binary record
+// format (application/x-panda-records — the shared storage codec, see
+// wire/binary.go). Anything else is a clean 415, not a JSON decode 400.
 func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
-	var req wire.BatchReportRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
-		return
+	switch ct := r.Header.Get("Content-Type"); ct {
+	// Exact matches first: the canonical header values stay off the
+	// allocating mime parser, which matters at ingest rates.
+	case "", "application/json":
+		s.v2ReportsJSON(w, r)
+	case wire.ContentTypeBinary:
+		s.v2ReportsBinary(w, r)
+	default:
+		switch {
+		case isJSONContent(ct):
+			s.v2ReportsJSON(w, r)
+		case isBinaryContent(ct):
+			s.v2ReportsBinary(w, r)
+		default:
+			v2Error(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia,
+				"unsupported Content-Type %q (want application/json or %s)", ct, wire.ContentTypeBinary)
+		}
 	}
-	async := req.Async
+}
+
+// isJSONContent reports whether ct selects the JSON report encoding. An
+// absent Content-Type means JSON — the pre-negotiation default every
+// existing client relies on. The exact-match fast path keeps the mime
+// parser (which allocates) off the hot ingest loop; the parse only runs
+// for headers carrying parameters or unusual casing.
+func isJSONContent(ct string) bool {
+	if ct == "" || ct == "application/json" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
+// isBinaryContent reports whether ct selects the binary report encoding;
+// exact match first for the same reason as isJSONContent.
+func isBinaryContent(ct string) bool {
+	if ct == wire.ContentTypeBinary {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == wire.ContentTypeBinary
+}
+
+// reportMode folds the ?mode= query override into the body's async
+// flag. ok=false means the mode was invalid and the error response has
+// been written.
+func (s *Server) reportMode(w http.ResponseWriter, r *http.Request, async bool) (_ bool, ok bool) {
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "":
 	case "sync":
@@ -94,6 +143,22 @@ func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
 	default:
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
 			"unknown mode %q (want sync or async)", mode)
+		return false, false
+	}
+	return async, true
+}
+
+// v2ReportsJSON is the JSON leg of POST /v2/reports. Decoded releases
+// land in a pooled record slice that flows through validation, the
+// ingest queue, and the store without another copy.
+func (s *Server) v2ReportsJSON(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding batch report: %v", err)
+		return
+	}
+	async, ok := s.reportMode(w, r, req.Async)
+	if !ok {
 		return
 	}
 	if len(req.Releases) == 0 {
@@ -121,57 +186,166 @@ func (s *Server) handleV2Reports(w http.ResponseWriter, r *http.Request) {
 		s.v2StalePolicy(w, req.User, req.PolicyVersion, up.Version)
 		return
 	}
-	recs := make([]Record, len(req.Releases))
-	for i, rel := range req.Releases {
-		recs[i] = Record{
+	recs := storage.GetRecords()
+	for _, rel := range req.Releases {
+		recs = append(recs, Record{
 			User: req.User, T: rel.T, Point: geo.Pt(rel.X, rel.Y),
 			Cell: -1, PolicyVersion: up.Version,
+		})
+	}
+	s.v2ReportsApply(w, recs, up.Version, async)
+}
+
+// maxBinaryBody is the exact upper bound of a well-formed binary report
+// body: the batch header plus maxBatchReleases frames.
+var maxBinaryBody = int64(wire.BinaryBodySize(maxBatchReleases))
+
+// binaryBodies recycles binary request-body buffers across requests —
+// the decode-scratch half of the binary path's allocation budget (the
+// record half is the storage pool).
+var binaryBodies = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// readBinaryBody reads r into a pooled buffer, bounded by maxBinaryBody.
+// The returned pointer must go back via binaryBodies.Put when the bytes
+// are dead.
+func readBinaryBody(r io.Reader) (*[]byte, error) {
+	bp := binaryBodies.Get().(*[]byte)
+	buf := (*bp)[:0]
+	lr := io.LimitReader(r, maxBinaryBody+1)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return bp, nil
+		}
+		if err != nil {
+			*bp = buf
+			return bp, err
 		}
 	}
-	if async && s.queue != nil {
-		s.v2ReportsAsync(w, recs, up.Version)
+}
+
+// v2ReportsBinary is the binary leg of POST /v2/reports: the body is
+// read into a pooled buffer, its frames are CRC-verified and decoded
+// into a pooled record slice, and — policy checks permitting — that
+// same slice flows through the queue (or the store) without any JSON
+// materialization in between.
+func (s *Server) v2ReportsBinary(w http.ResponseWriter, r *http.Request) {
+	async, ok := s.reportMode(w, r, false)
+	if !ok {
 		return
 	}
-	// Sync path — also the fallback when async is requested but the
-	// server runs without an ingest queue (the ack is then stronger
-	// than asked for, never weaker).
-	added, replaced, err := s.db.InsertBatch(recs)
+	bp, err := readBinaryBody(r.Body)
+	defer binaryBodies.Put(bp)
 	if err != nil {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "reading binary report: %v", err)
+		return
+	}
+	if int64(len(*bp)) > maxBinaryBody {
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"binary report exceeds the %d-byte limit (%d releases)", maxBinaryBody, maxBatchReleases)
+		return
+	}
+	user, ver, recs, err := wire.DecodeBinaryReport(*bp, maxBatchReleases, storage.GetRecords())
+	if err != nil {
+		storage.PutRecords(recs)
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, wire.BatchReportResponse{Accepted: added, Replaced: replaced, PolicyVersion: up.Version})
+	if ver <= 0 {
+		storage.PutRecords(recs)
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"policy_version is required and must be >= 1 (got %d); /v2 does not accept unversioned reports", ver)
+		return
+	}
+	up := s.mgr.Get(user)
+	if !up.Consented {
+		storage.PutRecords(recs)
+		v2Error(w, http.StatusForbidden, wire.CodeConsent,
+			"user %d has not consented to the current policy", user)
+		return
+	}
+	if ver != up.Version {
+		storage.PutRecords(recs)
+		s.v2StalePolicy(w, user, ver, up.Version)
+		return
+	}
+	s.v2ReportsApply(w, recs, up.Version, async)
+}
+
+// v2ReportsApply is the shared tail of both report encodings: recs is a
+// built (cells unset), policy-checked batch the server now owns — it is
+// validated in place, then either enqueued (async) or stored (sync, also
+// the fallback when async is requested but the server runs without an
+// ingest queue: the ack is then stronger than asked for, never weaker).
+// Every path recycles recs into the record pool — directly here, or at
+// drain time by the queue's workers.
+func (s *Server) v2ReportsApply(w http.ResponseWriter, recs []Record, policyVersion int, async bool) {
+	if err := s.db.ValidateBatchInPlace(recs); err != nil {
+		storage.PutRecords(recs)
+		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	if async && s.queue != nil {
+		s.v2ReportsAsync(w, recs, policyVersion)
+		return
+	}
+	added := s.db.Store().InsertBatch(recs)
+	replaced := len(recs) - added
+	storage.PutRecords(recs)
+	writeJSON(w, wire.BatchReportResponse{Accepted: added, Replaced: replaced, PolicyVersion: policyVersion})
 }
 
 // v2ReportsAsync is the early-acknowledgement leg of POST /v2/reports:
-// validate, enqueue, 202. A full queue answers 429 with the drain-lag
-// retry hint (both in the envelope and the standard Retry-After header);
-// a closed queue (shutdown in progress) answers 503.
+// enqueue the pre-validated batch, 202. A full queue — or an exhausted
+// per-user fairness budget — answers 429 with the drain-lag retry hint
+// (both in the envelope and the standard Retry-After header); a closed
+// queue (shutdown in progress) answers 503.
 func (s *Server) v2ReportsAsync(w http.ResponseWriter, recs []Record, policyVersion int) {
-	normalized, err := s.db.ValidateBatch(recs)
-	if err != nil {
-		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
-		return
-	}
+	st := s.queue.Stats()
 	// A batch larger than the whole queue can never be admitted — that
 	// is a configuration mismatch, not transient backpressure, so it
 	// must not get a retriable 429 (clients would re-upload the batch
 	// to exhaustion). Send it sync instead, or raise -ingest-queue.
-	if cap := s.queue.Stats().Capacity; len(normalized) > cap {
+	if len(recs) > st.Capacity {
+		n := len(recs)
+		storage.PutRecords(recs)
 		v2Error(w, http.StatusRequestEntityTooLarge, wire.CodeBadRequest,
 			"async batch of %d records exceeds the ingest queue capacity of %d; send it synchronously or split it",
-			len(normalized), cap)
+			n, st.Capacity)
 		return
 	}
-	depth, err := s.queue.TryEnqueue(normalized)
+	// Same reasoning for the per-user budget: a batch that alone
+	// overflows it would 429 forever.
+	if st.UserCap > 0 && len(recs) > st.UserCap {
+		n := len(recs)
+		storage.PutRecords(recs)
+		v2Error(w, http.StatusRequestEntityTooLarge, wire.CodeBadRequest,
+			"async batch of %d records exceeds the per-user pending budget of %d; send it synchronously or split it",
+			n, st.UserCap)
+		return
+	}
+	queued := len(recs)
+	depth, err := s.queue.TryEnqueue(recs)
 	switch {
 	case err == nil:
+		// The queue owns recs now; its workers recycle the slice.
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		_ = json.NewEncoder(w).Encode(wire.AsyncReportResponse{
-			Queued: len(normalized), QueueDepth: depth, PolicyVersion: policyVersion,
+			Queued: queued, QueueDepth: depth, PolicyVersion: policyVersion,
 		})
 	case errors.Is(err, ingest.ErrFull):
+		storage.PutRecords(recs)
 		hint := s.queue.RetryAfter()
 		w.Header().Set("Content-Type", "application/json")
 		// Retry-After is in whole seconds; sub-second hints round up to 1.
@@ -183,6 +357,7 @@ func (s *Server) v2ReportsAsync(w http.ResponseWriter, recs []Record, policyVers
 			RetryAfterMS: int(hint / time.Millisecond),
 		})
 	default: // ingest.ErrClosed
+		storage.PutRecords(recs)
 		v2Error(w, http.StatusServiceUnavailable, wire.CodeUnavailable, "server is shutting down")
 	}
 }
@@ -229,15 +404,17 @@ func (s *Server) handleV2IngestStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.queue.Stats()
 	writeJSON(w, wire.IngestStatsResponse{
-		Enabled:  true,
-		Depth:    st.Depth,
-		Capacity: st.Capacity,
-		Workers:  st.Workers,
-		Enqueued: st.Enqueued,
-		Drained:  st.Drained,
-		Dropped:  st.Dropped,
-		Rejected: st.Rejected,
-		LagMS:    float64(st.Lag) / float64(time.Millisecond),
+		Enabled:   true,
+		Depth:     st.Depth,
+		Capacity:  st.Capacity,
+		Workers:   st.Workers,
+		UserCap:   st.UserCap,
+		Enqueued:  st.Enqueued,
+		Drained:   st.Drained,
+		Dropped:   st.Dropped,
+		Rejected:  st.Rejected,
+		Throttled: st.Throttled,
+		LagMS:     float64(st.Lag) / float64(time.Millisecond),
 	})
 }
 

@@ -1,0 +1,248 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// TestFairnessHotUserCapped proves the per-user budget: a hot user may
+// fill at most MaxUserPending records of a much deeper queue, so a
+// well-behaved user's enqueue still succeeds instantly — the flood is
+// shunted onto the 429-hint path instead of starving the fleet.
+func TestFairnessHotUserCapped(t *testing.T) {
+	sink := newBlockingSink(true) // gate shut: nothing drains
+	q, err := New(sink, Config{Workers: 1, QueueDepth: 1000, MaxApply: 1, MaxUserPending: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(sink.gate)
+		_ = q.Close(context.Background())
+	}()
+
+	// Hot user 1 floods in batches of 10 until refused.
+	hot := 0
+	for i := 0; ; i++ {
+		if _, err := q.TryEnqueue(recsOf(1, hot, 10)); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("hot user refusal: got %v, want ErrFull", err)
+			}
+			break
+		}
+		hot += 10
+		if hot > 1000 {
+			t.Fatal("hot user filled past the whole queue; fairness budget never kicked in")
+		}
+	}
+	// The worker may have pulled one batch off the lane before the gate,
+	// so admission can overshoot the cap by at most that in-flight batch.
+	if hot < 90 || hot > 110 {
+		t.Fatalf("hot user admitted %d records, want ~MaxUserPending (100)", hot)
+	}
+
+	// The queue is nowhere near full; a well-behaved user sails through.
+	for u := 2; u < 10; u++ {
+		if _, err := q.TryEnqueue(recsOf(u, 0, 10)); err != nil {
+			t.Fatalf("well-behaved user %d refused while the hot user is capped: %v", u, err)
+		}
+	}
+
+	st := q.Stats()
+	if st.Throttled == 0 {
+		t.Fatalf("no throttled records counted: %+v", st)
+	}
+	if st.Throttled > st.Rejected {
+		t.Fatalf("throttled (%d) exceeds rejected (%d)", st.Throttled, st.Rejected)
+	}
+	if st.UserCap != 100 {
+		t.Fatalf("UserCap = %d, want 100", st.UserCap)
+	}
+}
+
+// TestFairnessBudgetReturns proves the budget is returned as batches
+// apply: after the drain catches up, the previously capped user is
+// admitted again.
+func TestFairnessBudgetReturns(t *testing.T) {
+	sink := newBlockingSink(false)
+	q, err := New(sink, Config{Workers: 1, QueueDepth: 1000, MaxUserPending: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+
+	// Push the user to (or past) the cap, tolerating rejections.
+	for i := 0; i < 20; i++ {
+		_, _ = q.TryEnqueue(recsOf(7, i*10, 10))
+	}
+	// The free-running worker drains everything; the budget must free up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.TryEnqueue(recsOf(7, 10_000, 50)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("user still over budget long after the queue drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFairnessDisabledByDefault pins the zero-value contract: without
+// MaxUserPending one user may legitimately own the whole queue (the
+// single-tenant benchmarks and the direct-constructed test queues rely
+// on this).
+func TestFairnessDisabledByDefault(t *testing.T) {
+	sink := newBlockingSink(true)
+	q, err := New(sink, Config{Workers: 1, QueueDepth: 100, MaxApply: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(sink.gate)
+		_ = q.Close(context.Background())
+	}()
+	if _, err := q.TryEnqueue(recsOf(1, 0, 100)); err != nil {
+		t.Fatalf("one user filling the whole queue with fairness off: %v", err)
+	}
+	if st := q.Stats(); st.Throttled != 0 || st.UserCap != 0 {
+		t.Fatalf("fairness accounting active with MaxUserPending unset: %+v", st)
+	}
+}
+
+// stripeRecordingSink records which stripe every applied record routes
+// to, per sink call, so tests can prove stripe pinning.
+type stripeRecordingSink struct {
+	shards int
+	mu     sync.Mutex
+	// batches[i] is the set of stripes touched by call i.
+	batches [][]int
+	applied int
+}
+
+func (s *stripeRecordingSink) InsertBatch(recs []storage.Record) int {
+	seen := map[int]bool{}
+	for _, r := range recs {
+		seen[storage.ShardFor(r.User, s.shards)] = true
+	}
+	stripes := make([]int, 0, len(seen))
+	for st := range seen {
+		stripes = append(stripes, st)
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, stripes)
+	s.applied += len(recs)
+	s.mu.Unlock()
+	return len(recs)
+}
+
+// TestStripePinnedWorkers proves that with Shards set, every coalesced
+// sink call touches only stripes owned by one worker (stripe index ≡
+// worker index mod Workers) — the property that keeps a coalesced batch
+// from spanning every WAL stripe — and that nothing is lost on the way
+// (batch atomicity: drain-before-close applies every admitted record).
+func TestStripePinnedWorkers(t *testing.T) {
+	const shards, workers = 8, 4
+	sink := &stripeRecordingSink{shards: shards}
+	q, err := New(sink, Config{Workers: workers, QueueDepth: 100_000, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users, per = 64, 25
+	admitted := 0
+	for u := 0; u < users; u++ {
+		if _, err := q.TryEnqueue(recsOf(u, 0, per)); err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		admitted += per
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.applied != admitted {
+		t.Fatalf("drain-before-close applied %d records, want %d", sink.applied, admitted)
+	}
+	for i, stripes := range sink.batches {
+		// All stripes of one coalesced call must agree modulo the worker
+		// count: they belong to a single pinned worker.
+		want := stripes[0] % workers
+		for _, st := range stripes {
+			if st%workers != want {
+				t.Fatalf("sink call %d mixed stripes %v across workers (stripe %d is worker %d, expected worker %d)",
+					i, stripes, st, st%workers, want)
+			}
+		}
+	}
+}
+
+// TestWorkersCappedAtShards pins the withDefaults clamp: more workers
+// than stripes would leave idle goroutines, so Workers collapses to
+// Shards.
+func TestWorkersCappedAtShards(t *testing.T) {
+	sink := newBlockingSink(false)
+	q, err := New(sink, Config{Workers: 16, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+	if got := q.Stats().Workers; got != 4 {
+		t.Fatalf("workers = %d, want 4 (capped at Shards)", got)
+	}
+}
+
+// TestPerUserFIFO proves the lane routing's ordering guarantee: one
+// user's batches apply in enqueue order even with many workers (a user
+// always routes to the same lane, and a lane has one worker).
+func TestPerUserFIFO(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	sink := sinkFunc(func(recs []storage.Record) int {
+		mu.Lock()
+		for _, r := range recs {
+			if r.User == 42 {
+				order = append(order, r.T)
+			}
+		}
+		mu.Unlock()
+		return len(recs)
+	})
+	q, err := New(sink, Config{Workers: 8, QueueDepth: 100_000, MaxApply: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave the watched user with noise from many others.
+	for i := 0; i < 200; i++ {
+		if _, err := q.TryEnqueue(recsOf(42, i*3, 3)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		for u := 0; u < 4; u++ {
+			_, _ = q.TryEnqueue(recsOf(100+u, i, 1))
+		}
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 600 {
+		t.Fatalf("saw %d records for user 42, want 600", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("user 42's records applied out of order at %d: %d then %d", i, order[i-1], order[i])
+		}
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func([]storage.Record) int
+
+// InsertBatch implements Sink.
+func (f sinkFunc) InsertBatch(recs []storage.Record) int { return f(recs) }

@@ -17,9 +17,9 @@ const (
 	DefaultQueueDepth = 1 << 16 // 65536 pending records
 	DefaultMaxApply   = 1 << 12 // 4096 records per sink call
 
-	// maxQueuedBatches caps the batch channel's buffer independently of
-	// QueueDepth, so a generous record bound does not translate into a
-	// proportionally huge channel allocation. A full channel is the
+	// maxQueuedBatches caps the total batch-channel buffer independently
+	// of QueueDepth, so a generous record bound does not translate into
+	// a proportionally huge channel allocation. A full channel is the
 	// same backpressure signal as a full record budget: ErrFull.
 	maxQueuedBatches = 1 << 16
 )
@@ -27,10 +27,10 @@ const (
 // Errors reported by TryEnqueue. Handlers map ErrFull to 429 (with a
 // retry hint) and ErrClosed to 503.
 var (
-	// ErrFull means the queue is at capacity: the workers are not
-	// draining as fast as producers enqueue. The caller should back off
-	// for RetryAfter and re-send — re-sending is idempotent because the
-	// store replaces on (user, t).
+	// ErrFull means the queue — or the enqueuing user's fairness
+	// budget — is at capacity. The caller should back off for RetryAfter
+	// and re-send; re-sending is idempotent because the store replaces
+	// on (user, t).
 	ErrFull = errors.New("ingest: queue full")
 	// ErrClosed means Close has begun: the queue no longer accepts
 	// batches (the server is shutting down).
@@ -43,7 +43,8 @@ var (
 type Sink interface {
 	// InsertBatch stores the records atomically with respect to
 	// snapshots and returns how many were new (storage.Store's
-	// contract).
+	// contract). The sink must not retain the slice after returning:
+	// the queue recycles drained batches through a pool.
 	InsertBatch(recs []storage.Record) (added int)
 }
 
@@ -51,7 +52,8 @@ type Sink interface {
 // noted on each field.
 type Config struct {
 	// Workers is the number of background drain goroutines. <= 0 uses
-	// GOMAXPROCS.
+	// GOMAXPROCS. When Shards is set, Workers is capped at Shards (more
+	// workers than stripes would leave some idle).
 	Workers int
 	// QueueDepth is the maximum number of pending records (enqueued,
 	// not yet applied). <= 0 uses DefaultQueueDepth. A TryEnqueue that
@@ -62,11 +64,27 @@ type Config struct {
 	// store batches, amortizing lock acquisitions and WAL flushes.
 	// <= 0 uses DefaultMaxApply.
 	MaxApply int
+	// Shards pins workers to stripe subsets: batches are routed to
+	// lanes by storage.ShardFor(user, Shards) so each worker's
+	// coalesced batches touch only its own stripes (one lock + one WAL
+	// flush per involved stripe instead of all of them). Set it to the
+	// backing store's shard/stripe count; <= 0 routes by
+	// ShardFor(user, Workers), which still gives per-user FIFO order
+	// but no stripe affinity.
+	Shards int
+	// MaxUserPending bounds how many un-applied records a single user
+	// may have in the queue — the fairness budget that stops one hot
+	// client from filling the whole queue and starving everyone else
+	// into 429s. <= 0 disables per-user accounting.
+	MaxUserPending int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > 0 && c.Workers > c.Shards {
+		c.Workers = c.Shards
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
@@ -82,11 +100,13 @@ type Stats struct {
 	Depth    int // records enqueued but not yet applied
 	Capacity int // configured QueueDepth
 	Workers  int // configured worker count
+	UserCap  int // per-user pending budget, 0 when fairness is disabled
 
-	Enqueued uint64 // records accepted by TryEnqueue since New
-	Drained  uint64 // records applied to the sink
-	Dropped  uint64 // records discarded because the drain deadline expired
-	Rejected uint64 // records refused with ErrFull
+	Enqueued  uint64 // records accepted by TryEnqueue since New
+	Drained   uint64 // records applied to the sink
+	Dropped   uint64 // records discarded because the drain deadline expired
+	Rejected  uint64 // records refused with ErrFull (fairness refusals included)
+	Throttled uint64 // the subset of Rejected refused by the per-user budget
 
 	// Lag is the enqueue→apply latency of the most recently applied
 	// batch (its oldest coalesced record) — how far the workers run
@@ -94,10 +114,12 @@ type Stats struct {
 	Lag time.Duration
 }
 
-// batch is one enqueued unit: the records of a single TryEnqueue call
-// plus its admission time, from which drain lag is measured.
+// batch is one enqueued unit: the records of a single TryEnqueue call,
+// the user whose fairness budget they count against, and the admission
+// time from which drain lag is measured.
 type batch struct {
 	recs []storage.Record
+	user int
 	at   time.Time
 }
 
@@ -106,6 +128,12 @@ type batch struct {
 // handler validates and enqueues (202 Accepted); workers batch-apply
 // into the Sink. Capacity is counted in records, so backpressure is
 // proportional to actual work, not request count.
+//
+// Batches are routed to per-worker lanes by their first record's user
+// (the HTTP layer only enqueues single-user batches), which buys two
+// properties: a user's batches drain FIFO through a single worker, and
+// with Config.Shards set each worker's coalesced batches stay within
+// its own stripe subset of a sharded/striped store.
 //
 // The acknowledgement contract is deliberately weak: a 202 means the
 // records passed validation and will be applied unless the process
@@ -117,19 +145,25 @@ type batch struct {
 //
 // A Queue is safe for concurrent use.
 type Queue struct {
-	cfg  Config
-	sink Sink
-	ch   chan batch
+	cfg   Config
+	sink  Sink
+	lanes []chan batch
 
-	pending  atomic.Int64 // records in ch, not yet applied
-	enqueued atomic.Uint64
-	drained  atomic.Uint64
-	dropped  atomic.Uint64
-	rejected atomic.Uint64
-	lagNS    atomic.Int64
+	pending   atomic.Int64 // records enqueued, not yet applied
+	enqueued  atomic.Uint64
+	drained   atomic.Uint64
+	dropped   atomic.Uint64
+	rejected  atomic.Uint64
+	throttled atomic.Uint64
+	lagNS     atomic.Int64
+
+	// userMu guards userPending, the per-user fairness ledger. Nil map
+	// when MaxUserPending is disabled.
+	userMu      sync.Mutex
+	userPending map[int]int
 
 	// mu guards the closed flag against the TryEnqueue send: Close must
-	// not close ch while a send is in flight.
+	// not close the lanes while a send is in flight.
 	mu      sync.RWMutex
 	closed  bool
 	discard atomic.Bool // drain deadline expired: workers discard instead of applying
@@ -147,29 +181,88 @@ func New(sink Sink, cfg Config) (*Queue, error) {
 	if chCap > maxQueuedBatches {
 		chCap = maxQueuedBatches
 	}
+	laneCap := chCap / cfg.Workers
+	if laneCap < 1 {
+		laneCap = 1
+	}
 	q := &Queue{
-		cfg:  cfg,
-		sink: sink,
-		ch:   make(chan batch, chCap),
+		cfg:   cfg,
+		sink:  sink,
+		lanes: make([]chan batch, cfg.Workers),
+	}
+	if cfg.MaxUserPending > 0 {
+		q.userPending = make(map[int]int)
+	}
+	for i := range q.lanes {
+		q.lanes[i] = make(chan batch, laneCap)
 	}
 	q.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go q.worker()
+		go q.worker(q.lanes[i])
 	}
 	return q, nil
 }
 
+// laneFor routes a user to a drain lane. With Shards set the route goes
+// through the stripe placement first, so every user of stripe s lands
+// on worker s mod Workers and a worker only ever touches stripes
+// congruent to its index.
+func (q *Queue) laneFor(user int) chan batch {
+	if q.cfg.Shards > 0 {
+		return q.lanes[storage.ShardFor(user, q.cfg.Shards)%q.cfg.Workers]
+	}
+	return q.lanes[storage.ShardFor(user, q.cfg.Workers)]
+}
+
+// userAdmit charges n records to user's fairness budget, reporting
+// whether the budget allows it. No-op (always admitted) when fairness
+// is disabled.
+func (q *Queue) userAdmit(user, n int) bool {
+	if q.userPending == nil {
+		return true
+	}
+	q.userMu.Lock()
+	defer q.userMu.Unlock()
+	if q.userPending[user]+n > q.cfg.MaxUserPending {
+		return false
+	}
+	q.userPending[user] += n
+	return true
+}
+
+// userDone returns n records of user's fairness budget after they were
+// applied (or discarded, or rolled back).
+func (q *Queue) userDone(user, n int) {
+	if q.userPending == nil {
+		return
+	}
+	q.userMu.Lock()
+	if left := q.userPending[user] - n; left > 0 {
+		q.userPending[user] = left
+	} else {
+		delete(q.userPending, user)
+	}
+	q.userMu.Unlock()
+}
+
 // TryEnqueue admits recs into the queue without blocking. On success it
 // returns the number of records pending *ahead of* this batch at
-// admission — the backlog hint carried in the 202 response. ErrFull
-// means the queue is at capacity (the caller should wait RetryAfter and
-// re-send); ErrClosed means the queue is shutting down. Records must
-// already be validated: the sink applies them unchecked. The queue
-// takes ownership of the slice.
+// admission — the backlog hint carried in the 202 response — and the
+// queue takes ownership of the slice (it is recycled into the shared
+// record pool after the sink applies it, so the caller must not touch
+// it again; pass a storage.GetRecords slice to keep the path
+// allocation-free). On error the caller keeps ownership. ErrFull means
+// the queue — or the caller's per-user fairness budget — is at
+// capacity (wait RetryAfter and re-send); ErrClosed means the queue is
+// shutting down. Records must already be validated: the sink applies
+// them unchecked. Batches are routed by their first record's user, so
+// callers should enqueue single-user batches (the HTTP layer always
+// does).
 func (q *Queue) TryEnqueue(recs []storage.Record) (depth int, err error) {
 	if len(recs) == 0 {
 		return int(q.pending.Load()), nil
 	}
+	user := recs[0].User
 	n := int64(len(recs))
 	after := q.pending.Add(n)
 	if after > int64(q.cfg.QueueDepth) {
@@ -177,18 +270,26 @@ func (q *Queue) TryEnqueue(recs []storage.Record) (depth int, err error) {
 		q.rejected.Add(uint64(n))
 		return 0, ErrFull
 	}
+	if !q.userAdmit(user, len(recs)) {
+		q.pending.Add(-n)
+		q.rejected.Add(uint64(n))
+		q.throttled.Add(uint64(n))
+		return 0, ErrFull
+	}
 	q.mu.RLock()
 	if q.closed {
 		q.mu.RUnlock()
+		q.userDone(user, len(recs))
 		q.pending.Add(-n)
 		return 0, ErrClosed
 	}
 	select {
-	case q.ch <- batch{recs: recs, at: time.Now()}:
+	case q.laneFor(user) <- batch{recs: recs, user: user, at: time.Now()}:
 	default:
-		// Record budget left but the batch channel is full (many tiny
-		// batches): same backpressure signal, never a blocking send.
+		// Record budget left but the lane's batch channel is full (many
+		// tiny batches): same backpressure signal, never a blocking send.
 		q.mu.RUnlock()
+		q.userDone(user, len(recs))
 		q.pending.Add(-n)
 		q.rejected.Add(uint64(n))
 		return 0, ErrFull
@@ -198,24 +299,39 @@ func (q *Queue) TryEnqueue(recs []storage.Record) (depth int, err error) {
 	return int(after - n), nil
 }
 
-// worker drains batches, coalescing queued work up to MaxApply records
+// owner tracks one coalesced batch's fairness charge through apply.
+type owner struct {
+	user int
+	n    int
+}
+
+// worker drains its lane, coalescing queued work up to MaxApply records
 // per sink call so a burst of small client batches becomes a few large
-// store batches.
-func (q *Queue) worker() {
+// store batches. Because a user always routes to the same lane, a
+// user's batches apply in FIFO order; with stripe pinning the whole
+// coalesced batch stays within this worker's stripe subset. Applied
+// batch slices are recycled into the shared record pool.
+func (q *Queue) worker(lane chan batch) {
 	defer q.wg.Done()
-	for b := range q.ch {
+	var owners []owner
+	for b := range lane {
 		recs, oldest := b.recs, b.at
+		owners = append(owners[:0], owner{b.user, len(b.recs)})
 	coalesce:
 		for len(recs) < q.cfg.MaxApply {
 			select {
-			case nb, ok := <-q.ch:
+			case nb, ok := <-lane:
 				if !ok {
 					break coalesce
 				}
 				recs = append(recs, nb.recs...)
+				owners = append(owners, owner{nb.user, len(nb.recs)})
 				if nb.at.Before(oldest) {
 					oldest = nb.at
 				}
+				// nb's records were copied into the coalesced batch; its
+				// slice is dead and can be recycled immediately.
+				storage.PutRecords(nb.recs)
 			default:
 				break coalesce
 			}
@@ -227,7 +343,11 @@ func (q *Queue) worker() {
 			q.drained.Add(uint64(len(recs)))
 			q.lagNS.Store(int64(time.Since(oldest)))
 		}
+		for _, o := range owners {
+			q.userDone(o.user, o.n)
+		}
 		q.pending.Add(int64(-len(recs)))
+		storage.PutRecords(recs)
 	}
 }
 
@@ -250,7 +370,9 @@ func (q *Queue) Close(ctx context.Context) error {
 	q.mu.Lock()
 	if !q.closed {
 		q.closed = true
-		close(q.ch)
+		for _, lane := range q.lanes {
+			close(lane)
+		}
 	}
 	q.mu.Unlock()
 
@@ -302,15 +424,21 @@ func (q *Queue) Close(ctx context.Context) error {
 // read individually, so a snapshot taken during heavy traffic may be
 // off by in-flight batches; quiescent snapshots are exact.
 func (q *Queue) Stats() Stats {
+	userCap := q.cfg.MaxUserPending
+	if userCap < 0 {
+		userCap = 0
+	}
 	return Stats{
-		Depth:    int(q.pending.Load()),
-		Capacity: q.cfg.QueueDepth,
-		Workers:  q.cfg.Workers,
-		Enqueued: q.enqueued.Load(),
-		Drained:  q.drained.Load(),
-		Dropped:  q.dropped.Load(),
-		Rejected: q.rejected.Load(),
-		Lag:      time.Duration(q.lagNS.Load()),
+		Depth:     int(q.pending.Load()),
+		Capacity:  q.cfg.QueueDepth,
+		Workers:   q.cfg.Workers,
+		UserCap:   userCap,
+		Enqueued:  q.enqueued.Load(),
+		Drained:   q.drained.Load(),
+		Dropped:   q.dropped.Load(),
+		Rejected:  q.rejected.Load(),
+		Throttled: q.throttled.Load(),
+		Lag:       time.Duration(q.lagNS.Load()),
 	}
 }
 

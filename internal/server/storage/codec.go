@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// The fixed binary record codec. One Record encodes to a 48-byte
+// little-endian payload (user, t, the released point's two float64
+// coordinates, cell, policy version — all as 64-bit words) framed by an
+// 8-byte header (payload length + CRC32-C). The WAL has always framed
+// its logs this way; lifting the codec here lets the HTTP wire format
+// (application/x-panda-records), the ingest queue, and the WAL stripes
+// all speak the same frames, so a binary batch flows from socket to
+// stripe without re-encoding.
+const (
+	// PayloadSize is the fixed encoded size of one Record: six 64-bit
+	// little-endian words (user, t, X bits, Y bits, cell, policy
+	// version).
+	PayloadSize = 48
+	// FrameSize is PayloadSize plus the 8-byte frame header (length
+	// word + CRC32-C of the payload).
+	FrameSize = 8 + PayloadSize
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), the same checksum most log-structured stores frame with.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the framed encoding of rec to buf and returns the
+// extended buffer: an 8-byte header (length word PayloadSize, CRC32-C of
+// the payload) followed by the 48-byte payload.
+func AppendFrame(buf []byte, rec Record) []byte {
+	var payload [PayloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:], uint64(int64(rec.User)))
+	binary.LittleEndian.PutUint64(payload[8:], uint64(int64(rec.T)))
+	binary.LittleEndian.PutUint64(payload[16:], math.Float64bits(rec.Point.X))
+	binary.LittleEndian.PutUint64(payload[24:], math.Float64bits(rec.Point.Y))
+	binary.LittleEndian.PutUint64(payload[32:], uint64(int64(rec.Cell)))
+	binary.LittleEndian.PutUint64(payload[40:], uint64(int64(rec.PolicyVersion)))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], PayloadSize)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload[:], castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload[:]...)
+}
+
+// DecodePayload decodes a 48-byte payload (no frame header) back into a
+// Record — the inverse of AppendFrame's payload encoding. The caller
+// must have verified the frame (see DecodeFrame) or trust the source.
+func DecodePayload(p []byte) Record {
+	return Record{
+		User: int(int64(binary.LittleEndian.Uint64(p[0:]))),
+		T:    int(int64(binary.LittleEndian.Uint64(p[8:]))),
+		Point: geo.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
+		),
+		Cell:          int(int64(binary.LittleEndian.Uint64(p[32:]))),
+		PolicyVersion: int(int64(binary.LittleEndian.Uint64(p[40:]))),
+	}
+}
+
+// DecodeFrame verifies and decodes one full frame (header + payload).
+// It reports ok=false when the frame is shorter than FrameSize, the
+// length word is not PayloadSize, or the CRC does not match — the torn/
+// corrupt signal shared by WAL replay and the binary wire format.
+func DecodeFrame(frame []byte) (rec Record, ok bool) {
+	if len(frame) < FrameSize {
+		return Record{}, false
+	}
+	if binary.LittleEndian.Uint32(frame[0:]) != PayloadSize {
+		return Record{}, false
+	}
+	if crc32.Checksum(frame[8:FrameSize], castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+		return Record{}, false
+	}
+	return DecodePayload(frame[8:FrameSize]), true
+}
+
+// recordSlices recycles record batches across the ingest hot path: HTTP
+// handlers decode into a pooled slice, the queue hands it through the
+// drain workers, and the worker returns it after the sink applied the
+// batch. Pooled via pointer so Put does not allocate a header.
+var recordSlices = sync.Pool{
+	New: func() any {
+		s := make([]Record, 0, 256)
+		return &s
+	},
+}
+
+// GetRecords returns an empty record slice from the pool; capacity grows
+// toward the largest batches the process has seen. Pass it back with
+// PutRecords when the batch is no longer referenced.
+func GetRecords() []Record {
+	return (*recordSlices.Get().(*[]Record))[:0]
+}
+
+// PutRecords recycles a slice obtained from GetRecords (or any record
+// slice the caller owns outright). The caller must not use s afterward;
+// sinks and stores honor this by never retaining batch slices.
+func PutRecords(s []Record) {
+	if s == nil {
+		return
+	}
+	s = s[:0]
+	recordSlices.Put(&s)
+}

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+)
+
+// le64 appends v as a little-endian 64-bit word.
+func le64(buf []byte, v uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	return append(buf, w[:]...)
+}
+
+// goldenFrame builds the expected frame bytes from first principles —
+// independently of AppendFrame — so the test pins the format, not the
+// implementation.
+func goldenFrame(user, t int64, x, y float64, cell, pv int64) []byte {
+	var payload []byte
+	payload = le64(payload, uint64(user))
+	payload = le64(payload, uint64(t))
+	payload = le64(payload, math.Float64bits(x))
+	payload = le64(payload, math.Float64bits(y))
+	payload = le64(payload, uint64(cell))
+	payload = le64(payload, uint64(pv))
+	frame := make([]byte, 0, FrameSize)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], PayloadSize)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	frame = append(frame, hdr[:]...)
+	return append(frame, payload...)
+}
+
+// TestFrameGoldenLayout pins the 48-byte record layout byte-for-byte.
+// If this test ever needs updating, the wire format and the WAL on-disk
+// format both changed — that requires a version bump, not a test edit.
+func TestFrameGoldenLayout(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+	}{
+		{"simple", Record{User: 7, T: 3, Point: geo.Pt(1.5, -2.25), Cell: 42, PolicyVersion: 1}},
+		{"zero", Record{}},
+		{"negative user and t", Record{User: -12345, T: -9, Point: geo.Pt(0, 0), Cell: -1, PolicyVersion: 2}},
+		{"extremes", Record{
+			User: math.MaxInt32, T: math.MaxInt32,
+			Point: geo.Pt(math.MaxFloat64, math.SmallestNonzeroFloat64),
+			Cell:  1<<31 - 1, PolicyVersion: 1 << 30,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := goldenFrame(
+				int64(tc.rec.User), int64(tc.rec.T),
+				tc.rec.Point.X, tc.rec.Point.Y,
+				int64(tc.rec.Cell), int64(tc.rec.PolicyVersion),
+			)
+			got := AppendFrame(nil, tc.rec)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame bytes diverged from the pinned layout:\n got %x\nwant %x", got, want)
+			}
+			if len(got) != FrameSize {
+				t.Fatalf("frame is %d bytes, want %d", len(got), FrameSize)
+			}
+			back, ok := DecodeFrame(got)
+			if !ok {
+				t.Fatalf("DecodeFrame rejected a frame AppendFrame produced")
+			}
+			if back != tc.rec {
+				t.Fatalf("round trip mismatch: got %+v want %+v", back, tc.rec)
+			}
+		})
+	}
+}
+
+// TestFrameFixedWords pins a handful of absolute byte offsets with
+// hand-computed values, so even a consistent encode/decode rewrite (the
+// failure mode a pure round-trip test misses) trips the alarm.
+func TestFrameFixedWords(t *testing.T) {
+	rec := Record{User: 258, T: -1, Point: geo.Pt(1.0, 2.0), Cell: 5, PolicyVersion: 3}
+	frame := AppendFrame(nil, rec)
+	// Header: length word then CRC.
+	if got := binary.LittleEndian.Uint32(frame[0:]); got != 48 {
+		t.Fatalf("length word = %d, want 48", got)
+	}
+	// User 258 = 0x102 little-endian at offset 8.
+	if frame[8] != 0x02 || frame[9] != 0x01 {
+		t.Fatalf("user bytes = %x %x, want 02 01", frame[8], frame[9])
+	}
+	// T = -1: all 64 bits set (two's complement) at offset 16.
+	for i := 16; i < 24; i++ {
+		if frame[i] != 0xFF {
+			t.Fatalf("t=-1 byte %d = %x, want ff", i, frame[i])
+		}
+	}
+	// X = 1.0 → IEEE-754 bits 0x3FF0000000000000 at offset 24.
+	if got := binary.LittleEndian.Uint64(frame[24:]); got != 0x3FF0000000000000 {
+		t.Fatalf("x bits = %#x, want 0x3FF0000000000000", got)
+	}
+	// Y = 2.0 → 0x4000000000000000 at offset 32.
+	if got := binary.LittleEndian.Uint64(frame[32:]); got != 0x4000000000000000 {
+		t.Fatalf("y bits = %#x, want 0x4000000000000000", got)
+	}
+}
+
+// TestDecodeFrameRejects covers the refusal paths: short frames, bad
+// length words, and corrupted payloads.
+func TestDecodeFrameRejects(t *testing.T) {
+	frame := AppendFrame(nil, Record{User: 1, T: 2, Point: geo.Pt(3, 4), Cell: 5, PolicyVersion: 6})
+
+	if _, ok := DecodeFrame(frame[:FrameSize-1]); ok {
+		t.Fatal("short frame accepted")
+	}
+	if _, ok := DecodeFrame(nil); ok {
+		t.Fatal("empty frame accepted")
+	}
+
+	bad := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(bad[0:], PayloadSize+8)
+	if _, ok := DecodeFrame(bad); ok {
+		t.Fatal("wrong length word accepted")
+	}
+
+	for _, flip := range []int{8, 20, FrameSize - 1} {
+		bad = append(bad[:0], frame...)
+		bad[flip] ^= 0x40
+		if _, ok := DecodeFrame(bad); ok {
+			t.Fatalf("payload corruption at byte %d not caught by CRC", flip)
+		}
+	}
+}
+
+// TestRecordPool exercises the scratch-slice pool: slices come back
+// empty and a recycled slice's capacity is reused.
+func TestRecordPool(t *testing.T) {
+	s := GetRecords()
+	if len(s) != 0 {
+		t.Fatalf("pooled slice not empty: len %d", len(s))
+	}
+	for i := 0; i < 1000; i++ {
+		s = append(s, Record{User: i})
+	}
+	PutRecords(s)
+	s2 := GetRecords()
+	if len(s2) != 0 {
+		t.Fatalf("recycled slice not reset: len %d", len(s2))
+	}
+	PutRecords(s2)
+	PutRecords(nil) // must not panic
+}

@@ -357,7 +357,19 @@ func (s *Sharded) InsertBatch(recs []Record) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	groups := make([][]Record, len(s.shards))
+	// The partition scratch is pooled: at ingest rates the per-batch
+	// [][]Record (outer slice plus one grown sub-slice per hot shard)
+	// was a top allocation site. Records are plain values, so a pooled
+	// buffer pins no heap objects between uses.
+	gb, _ := groupScratch.Get().(*[][]Record)
+	if gb == nil || len(*gb) < len(s.shards) {
+		g := make([][]Record, len(s.shards))
+		gb = &g
+	}
+	groups := (*gb)[:len(s.shards)]
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
 	for _, rec := range recs {
 		i := ShardFor(rec.User, len(s.shards))
 		groups[i] = append(groups[i], rec)
@@ -367,8 +379,12 @@ func (s *Sharded) InsertBatch(recs []Record) int {
 	for _, a := range added {
 		total += a
 	}
+	groupScratch.Put(gb)
 	return total
 }
+
+// groupScratch pools InsertBatch's per-shard partition buffers.
+var groupScratch sync.Pool
 
 // InsertGrouped is InsertBatch for callers that have already partitioned
 // the batch: groups[i] holds the records routed (via ShardFor) to shard

@@ -5,12 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"os"
 
-	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/server/storage"
 )
 
@@ -21,50 +18,22 @@ const (
 	fileVersion = uint32(1)
 	headerSize  = 8
 
-	// payloadSize is the fixed binary encoding of one storage.Record:
-	// user, t, cell, policy version as int64 plus the released point's
-	// two float64 coordinates.
-	payloadSize = 48
-	frameSize   = 8 + payloadSize // length + crc + payload
+	// The record framing is the shared storage codec — the same frames
+	// the binary wire format (application/x-panda-records) ships, so a
+	// binary batch needs no re-encoding between socket and stripe.
+	payloadSize = storage.PayloadSize
+	frameSize   = storage.FrameSize
 )
-
-// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
-// amd64/arm64), the same checksum most log-structured stores frame with.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports damage that replay cannot attribute to a torn
 // append: a bad frame in the snapshot or in a non-final segment, or a
 // file that does not start with the expected header.
 var ErrCorrupt = errors.New("wal: corrupt file")
 
-// appendFrame appends the framed encoding of rec to buf.
+// appendFrame appends the framed encoding of rec to buf (the shared
+// storage codec).
 func appendFrame(buf []byte, rec storage.Record) []byte {
-	var payload [payloadSize]byte
-	binary.LittleEndian.PutUint64(payload[0:], uint64(int64(rec.User)))
-	binary.LittleEndian.PutUint64(payload[8:], uint64(int64(rec.T)))
-	binary.LittleEndian.PutUint64(payload[16:], math.Float64bits(rec.Point.X))
-	binary.LittleEndian.PutUint64(payload[24:], math.Float64bits(rec.Point.Y))
-	binary.LittleEndian.PutUint64(payload[32:], uint64(int64(rec.Cell)))
-	binary.LittleEndian.PutUint64(payload[40:], uint64(int64(rec.PolicyVersion)))
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], payloadSize)
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload[:], castagnoli))
-	buf = append(buf, hdr[:]...)
-	return append(buf, payload[:]...)
-}
-
-// decodePayload is the inverse of the payload encoding in appendFrame.
-func decodePayload(p []byte) storage.Record {
-	return storage.Record{
-		User: int(int64(binary.LittleEndian.Uint64(p[0:]))),
-		T:    int(int64(binary.LittleEndian.Uint64(p[8:]))),
-		Point: geo.Pt(
-			math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
-			math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
-		),
-		Cell:          int(int64(binary.LittleEndian.Uint64(p[32:]))),
-		PolicyVersion: int(int64(binary.LittleEndian.Uint64(p[40:]))),
-	}
+	return storage.AppendFrame(buf, rec)
 }
 
 // fileHeader returns the 8-byte header opening every wal-owned file.
@@ -125,10 +94,11 @@ func replayFile(path string, fn func(storage.Record)) (validEnd int64, err error
 			}
 			return validEnd, err
 		}
-		if crc32.Checksum(frame[8:], castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+		rec, ok := storage.DecodeFrame(frame)
+		if !ok {
 			return validEnd, errTorn
 		}
-		fn(decodePayload(frame[8:]))
+		fn(rec)
 		validEnd += frameSize
 	}
 }

@@ -253,6 +253,11 @@ func (s *Store) stripeFor(user int) *stripe {
 	return s.stripes[storage.ShardFor(user, len(s.stripes))]
 }
 
+// NumShards returns the stripe count (= the memory shard count): the
+// partition fan-out a drain layer should pin its workers to so a
+// coalesced batch stays within each worker's stripe subset.
+func (s *Store) NumShards() int { return len(s.stripes) }
+
 // Insert appends the record to its stripe's log, then stores it in
 // memory. Under SyncAlways it returns only after the stripe is fsynced
 // (sharing the fsync with concurrent writers on the same stripe). It

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// TestBinaryReportGolden pins the full body layout: the 24-byte header
+// plus frames that are byte-identical to the WAL codec's output for the
+// same records. The wire format and the WAL on-disk format are one
+// format — this test is what makes divergence impossible to miss.
+func TestBinaryReportGolden(t *testing.T) {
+	releases := []Release{{T: 0, X: 1.5, Y: -2.25}, {T: 7, X: 0, Y: 3.125}}
+	body := AppendBinaryReport(nil, -42, 3, releases)
+
+	var want []byte
+	want = append(want, "PBR1"...)
+	var w4 [4]byte
+	binary.LittleEndian.PutUint32(w4[:], 2)
+	want = append(want, w4[:]...)
+	var w8 [8]byte
+	negUser := int64(-42)
+	binary.LittleEndian.PutUint64(w8[:], uint64(negUser))
+	want = append(want, w8[:]...)
+	binary.LittleEndian.PutUint64(w8[:], 3)
+	want = append(want, w8[:]...)
+	for _, rel := range releases {
+		want = storage.AppendFrame(want, storage.Record{
+			User: -42, T: rel.T, Point: geo.Pt(rel.X, rel.Y), Cell: -1, PolicyVersion: 3,
+		})
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("binary body diverged from the pinned layout:\n got %x\nwant %x", body, want)
+	}
+	if len(body) != BinaryBodySize(2) {
+		t.Fatalf("body is %d bytes, want %d", len(body), BinaryBodySize(2))
+	}
+
+	user, ver, recs, err := DecodeBinaryReport(body, 100, nil)
+	if err != nil {
+		t.Fatalf("decoding a well-formed body: %v", err)
+	}
+	if user != -42 || ver != 3 || len(recs) != 2 {
+		t.Fatalf("decoded user=%d ver=%d n=%d, want -42, 3, 2", user, ver, len(recs))
+	}
+	for i, rel := range releases {
+		want := storage.Record{User: -42, T: rel.T, Point: geo.Pt(rel.X, rel.Y), Cell: -1, PolicyVersion: 3}
+		if recs[i] != want {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want)
+		}
+	}
+}
+
+// corrupt returns a copy of body with fn applied.
+func corrupt(body []byte, fn func([]byte)) []byte {
+	c := append([]byte(nil), body...)
+	fn(c)
+	return c
+}
+
+func TestBinaryReportRejects(t *testing.T) {
+	good := AppendBinaryReport(nil, 9, 1, []Release{{T: 1, X: 2, Y: 3}})
+
+	cases := []struct {
+		name string
+		body []byte
+		want string // substring of the error
+	}{
+		{"truncated header", good[:10], "shorter than"},
+		{"bad magic", corrupt(good, func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"zero count", corrupt(good, func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 0) }), "empty batch"},
+		{"count over limit", corrupt(good, func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 101) }), "exceeds the limit"},
+		{"length mismatch", good[:len(good)-8], "want exactly"},
+		{"flipped payload bit", corrupt(good, func(b []byte) { b[BinaryHeaderSize+20] ^= 1 }), "CRC"},
+		{"frame user mismatch", corrupt(good, func(b []byte) {
+			// Re-frame record 0 with a different user so its CRC is valid.
+			frame := storage.AppendFrame(nil, storage.Record{User: 8, T: 1, Point: geo.Pt(2, 3), Cell: -1, PolicyVersion: 1})
+			copy(b[BinaryHeaderSize:], frame)
+		}), "disagrees with the batch header"},
+		{"frame version mismatch", corrupt(good, func(b []byte) {
+			frame := storage.AppendFrame(nil, storage.Record{User: 9, T: 1, Point: geo.Pt(2, 3), Cell: -1, PolicyVersion: 2})
+			copy(b[BinaryHeaderSize:], frame)
+		}), "policy version"},
+		{"pre-snapped cell", corrupt(good, func(b []byte) {
+			frame := storage.AppendFrame(nil, storage.Record{User: 9, T: 1, Point: geo.Pt(2, 3), Cell: 5, PolicyVersion: 1})
+			copy(b[BinaryHeaderSize:], frame)
+		}), "cells are assigned server-side"},
+		{"NaN coordinate", corrupt(good, func(b []byte) {
+			frame := storage.AppendFrame(nil, storage.Record{User: 9, T: 1, Point: geo.Pt(math.NaN(), 3), Cell: -1, PolicyVersion: 1})
+			copy(b[BinaryHeaderSize:], frame)
+		}), "non-finite"},
+		{"Inf coordinate", corrupt(good, func(b []byte) {
+			frame := storage.AppendFrame(nil, storage.Record{User: 9, T: 1, Point: geo.Pt(2, math.Inf(-1)), Cell: -1, PolicyVersion: 1})
+			copy(b[BinaryHeaderSize:], frame)
+		}), "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := DecodeBinaryReport(tc.body, 100, nil)
+			if err == nil {
+				t.Fatalf("body accepted, want an error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPeekBinaryReportUser(t *testing.T) {
+	body := AppendBinaryReport(nil, 1234567, 1, []Release{{T: 0, X: 1, Y: 1}})
+	user, err := PeekBinaryReportUser(body)
+	if err != nil || user != 1234567 {
+		t.Fatalf("peek = %d, %v; want 1234567, nil", user, err)
+	}
+	if _, err := PeekBinaryReportUser(body[:8]); err == nil {
+		t.Fatal("short body peeked without error")
+	}
+	if _, err := PeekBinaryReportUser([]byte("XXXX0123456789abcdef0123")); err == nil {
+		t.Fatal("bad magic peeked without error")
+	}
+}

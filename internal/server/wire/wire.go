@@ -23,6 +23,9 @@ const (
 	// interval, so clients back off politely instead of hammering a dead
 	// partition. (503)
 	CodeNodeDown = "node_unavailable"
+	// CodeUnsupportedMedia rejects a POST /v2/reports whose Content-Type
+	// is neither JSON nor the binary record format (415).
+	CodeUnsupportedMedia = "unsupported_media_type"
 )
 
 // Error is the uniform /v2 error envelope. Every non-2xx response body
@@ -97,14 +100,21 @@ type AsyncReportResponse struct {
 // observability surface of the async ingestion queue. With async ingest
 // disabled, Enabled is false and every other field is zero.
 type IngestStatsResponse struct {
-	Enabled  bool   `json:"enabled"`
-	Depth    int    `json:"depth"`    // records enqueued, not yet applied
-	Capacity int    `json:"capacity"` // queue bound in records
-	Workers  int    `json:"workers"`  // background drain workers
+	Enabled  bool `json:"enabled"`
+	Depth    int  `json:"depth"`    // records enqueued, not yet applied
+	Capacity int  `json:"capacity"` // queue bound in records
+	Workers  int  `json:"workers"`  // background drain workers
+	// UserCap is the per-user pending budget (fairness), 0 when
+	// disabled. Through the cluster router it is the largest per-node
+	// budget (budgets are enforced per node, not cluster-wide).
+	UserCap  int    `json:"user_cap"`
 	Enqueued uint64 `json:"enqueued"` // records accepted (202) since start
 	Drained  uint64 `json:"drained"`  // records applied to the store
 	Dropped  uint64 `json:"dropped"`  // records lost to a forced shutdown
 	Rejected uint64 `json:"rejected"` // records refused with 429
+	// Throttled is the subset of Rejected refused by the per-user
+	// fairness budget rather than global queue pressure.
+	Throttled uint64 `json:"throttled"`
 	// LagMS is the enqueue→apply latency of the most recently applied
 	// batch in milliseconds — how far the drain runs behind the acks.
 	LagMS float64 `json:"lag_ms"`

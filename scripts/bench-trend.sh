@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench-trend.sh <bench-output.txt> <label> — fold one `go test -bench`
+# output file into the repo-root bench-trend.json trend artifact as a
+# single NDJSON line: {"bench":<label>,"commit":...,"date":...,
+# "results":{<BenchmarkName>:{"ns_per_op":N[,"allocs_per_op":N]}}}.
+#
+# One line per artifact keeps the trend file greppable per bench family
+# (the cluster smoke appends its own line with the same shape), so a CI
+# run's whole performance story is `wc -l` lines of JSON.
+set -euo pipefail
+
+[ $# -eq 2 ] || { echo "usage: bench-trend.sh <bench-output.txt> <label>" >&2; exit 2; }
+file=$1
+label=$2
+cd "$(dirname "$0")/.."
+[ -r "$file" ] || { echo "bench-trend: cannot read $file" >&2; exit 1; }
+
+commit=${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
+now=$(date -u +%FT%TZ)
+
+# Each result line looks like:
+#   BenchmarkName/sub-8   300   452378 ns/op   57315 B/op   40 allocs/op
+# Strip the -GOMAXPROCS suffix and keep ns/op plus allocs/op when the
+# bench ran with ReportAllocs.
+results=$(awk '
+  $1 ~ /^Benchmark/ && $2 ~ /^[0-9]+$/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    item = "\"" name "\":{\"ns_per_op\":" ns
+    if (allocs != "") item = item ",\"allocs_per_op\":" allocs
+    item = item "}"
+    out = out (out == "" ? "" : ",") item
+  }
+  END { print out }
+' "$file")
+
+[ -n "$results" ] || { echo "bench-trend: no benchmark results in $file" >&2; exit 1; }
+
+printf '{"bench":"%s","commit":"%s","date":"%s","results":{%s}}\n' \
+  "$label" "$commit" "$now" "$results" >> bench-trend.json
+echo "bench-trend: appended $label ($(grep -c 'ns/op' "$file") results) to bench-trend.json"
