@@ -110,6 +110,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	case <-ctx.Done():
 	}
 	log.Printf("panda-router: shutting down (grace %v)", *grace)
+	//panda:allow ctxflow — ctx is already canceled here; the drain grace must outlive it
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	shutdownErr := hs.Shutdown(shutdownCtx)

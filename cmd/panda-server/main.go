@@ -278,6 +278,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	case err := <-serveErr:
 		// Serve failed outright; still drain acknowledged batches, but
 		// bounded by the same grace as a signal shutdown.
+		//panda:allow ctxflow — acknowledged batches must drain even if a signal races the serve failure
 		drainCtx, drainCancel := context.WithTimeout(context.Background(), *grace)
 		if derr := srv.DrainIngest(drainCtx); derr != nil {
 			log.Printf("panda-server: ingest drain after serve error: %v", derr)
@@ -298,6 +299,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	// store), then flush and close the log. The grace period covers the
 	// HTTP drain and the queue drain together.
 	log.Printf("panda-server: shutting down (grace %v)", *grace)
+	//panda:allow ctxflow — ctx is already canceled (or the wal failed); the drain grace must outlive it
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	shutdownErr := hs.Shutdown(shutdownCtx)

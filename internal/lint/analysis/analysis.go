@@ -1,0 +1,83 @@
+// Package analysis is a deliberately small, dependency-free mirror of
+// the golang.org/x/tools/go/analysis API: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are reported through the Pass. The panda-lint suite is
+// written against this surface so each analyzer reads exactly like a
+// stock go/analysis analyzer — if the x/tools dependency ever becomes
+// available, the analyzers port by swapping this import.
+//
+// Only the pieces the suite needs exist here: no facts, no
+// cross-analyzer requirements, no suggested fixes. Analyzers are pure
+// functions of one package's syntax and types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check. Name appears in diagnostics and
+// in //panda:allow suppression directives; Doc's first line is the
+// summary shown by panda-lint -list.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one type-checked package. All fields
+// are read-only for the Run function; diagnostics go through Report (or
+// the Reportf convenience).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver attaches the analyzer
+	// name and applies suppression directives.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding: a position inside the package and a
+// human-readable message stating the violated invariant.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in source order — the shared
+// traversal loop analyzers build on.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil for calls through function-typed variables, built-ins, and
+// conversions. It is the shared "what is actually being called" helper:
+// analyzers match invariant-relevant calls by the callee's package and
+// name rather than by spelling, so aliased imports and embedded
+// receivers cannot dodge a check.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

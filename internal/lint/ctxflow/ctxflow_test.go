@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/lint/ctxflow"
+	"github.com/pglp/panda/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/a")
+}

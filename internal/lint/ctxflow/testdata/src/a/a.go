@@ -1,0 +1,52 @@
+// Package a is ctxflow golden testdata: request-path functions thread
+// their context instead of minting fresh roots.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+// Handle threads the request's context: the blessed shape.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	_ = forward(ctx)
+}
+
+// Detached mints a fresh root while holding a request: downstream work
+// outlives the client.
+func Detached(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context\\.Background\\(\\) minted on a request path"
+	_ = forward(ctx)
+}
+
+// Todo is the same hazard in TODO clothing.
+func Todo(ctx context.Context) {
+	_ = forward(context.TODO()) // want "context\\.TODO\\(\\) minted on a request path"
+}
+
+// Fetch builds an uncancellable request while a context is in hand.
+func Fetch(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "http\\.NewRequest builds an uncancellable request"
+}
+
+// FetchWithContext is the fix: the request dies with the caller.
+func FetchWithContext(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// Root has no context parameter: it is the root of its own call tree,
+// and minting one here is the documented convenience idiom.
+func Root() context.Context {
+	return context.Background()
+}
+
+// Audit detaches deliberately: the audit write must survive request
+// cancellation, so the directive documents the exception.
+func Audit(ctx context.Context) context.Context {
+	//panda:allow ctxflow — audit log write must survive request cancellation
+	return context.Background()
+}
+
+func forward(ctx context.Context) error { return ctx.Err() }

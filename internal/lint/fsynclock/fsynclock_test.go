@@ -1,0 +1,12 @@
+package fsynclock_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/lint/fsynclock"
+	"github.com/pglp/panda/internal/lint/linttest"
+)
+
+func TestFsyncLock(t *testing.T) {
+	linttest.Run(t, fsynclock.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,70 @@
+// Package a is fsynclock golden testdata: flush under the stripe
+// mutex, fsync outside it.
+package a
+
+import (
+	"bufio"
+	"os"
+	"sync"
+)
+
+type stripe struct {
+	mu      sync.Mutex
+	fsyncMu sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+}
+
+// AppendFlush is the group-commit contract in miniature: buffered
+// flush under mu, device flush under fsyncMu only.
+func (st *stripe) AppendFlush(p []byte) error {
+	st.mu.Lock()
+	st.w.Write(p)
+	if err := st.w.Flush(); err != nil {
+		st.mu.Unlock()
+		return err
+	}
+	st.mu.Unlock()
+	st.fsyncMu.Lock()
+	defer st.fsyncMu.Unlock()
+	return st.f.Sync()
+}
+
+// AppendSyncBad fsyncs with the append mutex held: every concurrent
+// writer of the stripe now waits on device latency.
+func (st *stripe) AppendSyncBad(p []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.w.Write(p)
+	st.w.Flush()
+	return st.f.Sync() // want "Sync called while append mutex st\\.mu is held"
+}
+
+// rotateLocked runs under the caller's st.mu by naming convention: the
+// analyzer assumes the receiver's mu is held.
+func (st *stripe) rotateLocked() {
+	st.f.Sync() // want "Sync called while append mutex st\\.mu is held"
+}
+
+// Rotate uses the WAL's closure-unlock idiom: the sync after unlock()
+// is outside the mutex and must stay unflagged.
+func (st *stripe) Rotate() error {
+	st.fsyncMu.Lock()
+	st.mu.Lock()
+	unlock := func() {
+		st.mu.Unlock()
+		st.fsyncMu.Unlock()
+	}
+	st.w.Flush()
+	unlock()
+	return st.f.Sync()
+}
+
+// Seal fsyncs a finished segment under mu deliberately — no writer can
+// race a sealed segment — and carries the directive saying so.
+func (st *stripe) Seal() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	//panda:allow fsynclock — sealing a finished segment; no writer can race it
+	return st.f.Sync()
+}

@@ -1,0 +1,151 @@
+// Package lint is the panda-lint suite: repo-specific analyzers that
+// mechanically enforce the serving stack's documented invariants — the
+// pooled-buffer ownership rules of the binary ingest path, the
+// "flush under the stripe mutex, fsync outside it" group-commit
+// contract of PERSISTENCE.md, the uniform {error,code} wire envelope of
+// API.md, the explicit-now anchoring that keeps cluster scatter-gather
+// windows coherent, and context threading on request paths.
+//
+// Each analyzer lives in its own subpackage with analysistest-style
+// golden testdata; the registry here is what cmd/panda-lint (and CI's
+// scripts/lint.sh) runs. See README.md in this directory for how to add
+// an analyzer, and ARCHITECTURE.md's "Invariants and how they're
+// enforced" section for the contract each analyzer pins.
+//
+// Findings can be suppressed — sparingly, with a reason — by a
+// directive comment on the flagged line or the line above it:
+//
+//	//panda:allow fsynclock — rotation must seal the old segment atomically
+//
+// The directive names one analyzer (or a comma-separated list); an
+// unadorned "//panda:allow" suppresses nothing, so every suppression
+// states what it silences.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/pglp/panda/internal/lint/analysis"
+	"github.com/pglp/panda/internal/lint/ctxflow"
+	"github.com/pglp/panda/internal/lint/fsynclock"
+	"github.com/pglp/panda/internal/lint/loader"
+	"github.com/pglp/panda/internal/lint/nowanchor"
+	"github.com/pglp/panda/internal/lint/poolsafe"
+	"github.com/pglp/panda/internal/lint/wirecode"
+)
+
+// All returns the suite's analyzers in stable (alphabetical) order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		fsynclock.Analyzer,
+		nowanchor.Analyzer,
+		poolsafe.Analyzer,
+		wirecode.Analyzer,
+	}
+}
+
+// Finding is one reported, unsuppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding the way vet does: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies analyzers to one loaded package and returns the findings
+// that no //panda:allow directive suppresses, sorted by position.
+func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	allowed := collectAllows(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allowed[allowKey{pos.Filename, pos.Line, name}] ||
+				allowed[allowKey{pos.Filename, pos.Line - 1, name}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// allowKey addresses one suppression: this analyzer is allowed to stay
+// silent about findings on this file:line.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every comment for //panda:allow directives.
+func collectAllows(pkg *loader.Package) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, n := range names {
+					allowed[allowKey{pos.Filename, pos.Line, n}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// parseAllow extracts the analyzer names of one //panda:allow comment.
+// Everything after the name list (a dash, an em-dash, or just prose) is
+// the human reason and is ignored here — but the list itself must be
+// present for the directive to suppress anything.
+func parseAllow(text string) ([]string, bool) {
+	const prefix = "//panda:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

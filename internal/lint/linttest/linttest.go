@@ -1,0 +1,140 @@
+// Package linttest is the suite's analysistest equivalent: it loads a
+// golden testdata package, runs one analyzer over it, and matches the
+// diagnostics against `// want "regexp"` comments, failing the test on
+// any unmatched expectation or unexpected finding. //panda:allow
+// directives are honored exactly as the real driver honors them, so
+// suppression behavior is testable too.
+//
+// Testdata layout follows the analysistest convention:
+//
+//	<analyzer>/testdata/src/<case>/*.go
+//
+// and a case is exercised with
+//
+//	linttest.Run(t, analyzer, "testdata/src/flagged")
+//
+// A `// want` comment expects one diagnostic from the analyzer on that
+// line whose message matches the quoted regular expression; several
+// quoted expressions expect several diagnostics. Lines without a want
+// comment expect silence.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/lint"
+	"github.com/pglp/panda/internal/lint/analysis"
+	"github.com/pglp/panda/internal/lint/loader"
+)
+
+// expectation is one parsed want: a diagnostic must appear on
+// file:line matching re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata package at dir (relative to the test's working
+// directory), applies the analyzer, and asserts the diagnostics equal
+// the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", dir, err)
+	}
+	findings, err := lint.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected finding: %s", dir, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected a %s finding matching %q, got none",
+				dir, w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by f.
+func claim(wants []*expectation, f lint.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment.
+func collectWants(pkg *loader.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWant reads the quoted regular expressions of one want comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			break
+		}
+		if text[0] != '"' {
+			return nil, fmt.Errorf("want expression must be a quoted regexp, got %q", text)
+		}
+		end := strings.Index(text[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expression %q", text)
+		}
+		quoted := text[:end+2]
+		lit, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("compiling want regexp %s: %v", quoted, err)
+		}
+		res = append(res, re)
+		text = text[end+2:]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment carries no expectation")
+	}
+	return res, nil
+}

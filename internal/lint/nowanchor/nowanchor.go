@@ -1,0 +1,80 @@
+// Package nowanchor forbids bare time.Now() in the analytics, serving
+// and cluster query paths.
+//
+// The invariant it pins (API.md "now resolution", CLUSTER.md "now is
+// resolved cluster-wide"): windowed queries — health codes, census,
+// anything anchored at "now" — take an explicit resolved `now`
+// parameter. The edge resolves it exactly once (the ?now= query
+// parameter, the store's MaxT, or the cluster router's max-over-nodes
+// MaxT) and threads it down, so every node and every layer tallies the
+// same window. A bare time.Now() buried in a query path would anchor
+// that one computation at wall-clock time, silently diverging from the
+// shared anchor — scatter-gathered merges then mix windows and the
+// cluster stops matching a single-node reference.
+//
+// Scope: packages whose import path ends in /internal/server,
+// /internal/server/analytics or /internal/cluster (plus testdata
+// packages, which have bare single-segment paths). The ingest queue is
+// deliberately out of scope — it timestamps batches to measure drain
+// lag, a wall-clock quantity that has nothing to do with query windows.
+// Calls to Now methods on non-stdlib clocks (a test clock, an injected
+// clock interface) are not flagged: only time.Now itself is the hazard.
+package nowanchor
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/pglp/panda/internal/lint/analysis"
+)
+
+// Analyzer flags bare time.Now() calls in query-path packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowanchor",
+	Doc:  "forbid bare time.Now() in analytics/serving/cluster query paths; thread the resolved now anchor instead",
+	Run:  run,
+}
+
+// scopeSuffixes are the import paths whose query paths must thread the
+// resolved anchor.
+var scopeSuffixes = []string{
+	"/internal/server",
+	"/internal/server/analytics",
+	"/internal/cluster",
+}
+
+// inScope reports whether the package's query paths are anchored.
+// Single-segment paths are testdata packages: always in scope.
+func inScope(path string) bool {
+	if !strings.Contains(path, "/") {
+		return true
+	}
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"bare time.Now() in a query path: thread the resolved now anchor (resolved once at the edge from ?now= or the store's MaxT) instead")
+		}
+		return true
+	})
+	return nil, nil
+}

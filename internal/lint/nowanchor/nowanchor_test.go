@@ -1,0 +1,12 @@
+package nowanchor_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/lint/linttest"
+	"github.com/pglp/panda/internal/lint/nowanchor"
+)
+
+func TestNowAnchor(t *testing.T) {
+	linttest.Run(t, nowanchor.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,37 @@
+// Package a is nowanchor golden testdata: query paths must thread a
+// resolved now anchor instead of reading the wall clock.
+package a
+
+import "time"
+
+// HealthWindow is the good citizen: the caller resolved now once at
+// the edge and threads it down.
+func HealthWindow(now int64) (int64, int64) {
+	return now - 900, now
+}
+
+// WallClockWindow anchors the window at wall-clock time, diverging
+// from the cluster-wide anchor.
+func WallClockWindow() (int64, int64) {
+	now := time.Now().Unix() // want "bare time\\.Now\\(\\) in a query path"
+	return now - 900, now
+}
+
+// clock is an injected time source: calling Now on it is the sanctioned
+// testing seam, not the hazard, and must not be flagged.
+type clock struct{ t int64 }
+
+func (c clock) Now() int64 { return c.t }
+
+// InjectedWindow reads the injected clock: fine.
+func InjectedWindow(c clock) (int64, int64) {
+	now := c.Now()
+	return now - 900, now
+}
+
+// StartupStamp records process start for uptime reporting — wall-clock
+// by nature, suppressed with a reason.
+func StartupStamp() int64 {
+	//panda:allow nowanchor — process start stamp for uptime, not a query window
+	return time.Now().Unix()
+}

@@ -1,0 +1,700 @@
+// Package poolsafe checks the pooled-buffer ownership discipline.
+//
+// The ingest fast path (PR 7) moves record batches and binary bodies
+// through sync.Pool: the HTTP handler Gets, ownership travels through
+// the queue to a drain worker, and exactly one owner Puts. Two bugs
+// hide well in that chain, because both are invisible to tests: a
+// return path that forgets to release (the pool silently stops
+// recycling and allocation costs creep back), and a use or retention
+// after release (a data race with the next Get, which strikes only
+// under production concurrency).
+//
+// The analyzer tracks, per function, local variables acquired from a
+// pool — assigned from (*sync.Pool).Get or from a function named like
+// a pool getter (GetRecords) — through a block-structural walk of the
+// function body. A tracked value is released on a path when it is:
+//
+//   - passed to (*sync.Pool).Put or a pool putter (PutRecords);
+//   - handed off: passed as an argument to any other function, sent on
+//     a channel, stored into a composite literal, or returned —
+//     ownership transfers, and the receiving side carries the duty;
+//   - released by a deferred call whose body mentions it.
+//
+// It reports:
+//
+//   - a return (or the function's end) reached with an acquired value
+//     neither released nor handed off on that path — the leak;
+//   - any read of a value after its release on every path to that
+//     point — the use-after-Put race;
+//   - storing an acquired value into a struct field or other non-local
+//     lvalue — retention that outlives the request is exactly the
+//     escape the pool contract forbids.
+//
+// Approximations, chosen to keep the real tree quiet without giving up
+// the seeded-bug cases: builtins (append, len, cap, copy) do not
+// transfer ownership, and `v = append(v, ...)` keeps v tracked;
+// reassigning a tracked variable wholesale untracks it (a deliberate
+// pool discard, as in the store's scratch-resize); a Get nested
+// directly inside another call's arguments is an immediate hand-off
+// and is not tracked. Escapes the walk cannot see (aliasing through a
+// second variable, cross-iteration loop state) are out of scope —
+// //panda:allow documents anything cleverer.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/pglp/panda/internal/lint/analysis"
+)
+
+// Analyzer enforces balanced acquire/release and no-escape-after-release
+// for pooled values.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "pooled values (sync.Pool Get, GetRecords) must be released or handed off on every return path, and never used or retained after release",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// status is the per-path state of one tracked value. The order is the
+// merge lattice: joining two paths keeps the weakest claim.
+type status int
+
+const (
+	live     status = iota // acquired, release still owed on this path
+	handed                 // handed off (call, send, return, literal) — duty discharged, value possibly still borrowed-from
+	released               // Put back in the pool — any further touch races
+)
+
+// tracked is one pooled value being followed through the function.
+type tracked struct {
+	obj      types.Object // the local variable
+	name     string
+	acquired ast.Node // the Get, for leak reports
+	deferred bool     // a deferred call releases it at every return
+}
+
+// state maps each tracked value to its status on the current path.
+type state map[*tracked]status
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+	// reported de-duplicates diagnostics per tracked value: one leak
+	// report per return statement is useful, five for the same value on
+	// the same line are not.
+	reported map[ast.Node]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	w := &walker{pass: pass, reported: map[ast.Node]bool{}}
+	st := state{}
+	if !w.seq(fd.Body.List, st) {
+		// The body falls off the end: same duty as an explicit return.
+		w.checkLeaks(st, fd.Body.End())
+	}
+}
+
+// seq walks a statement sequence, mutating st; reports termination.
+func (w *walker) seq(stmts []ast.Stmt, st state) (terminated bool) {
+	for _, s := range stmts {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s, st)
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.SendStmt:
+		// A channel send is a hand-off to the receiving goroutine.
+		w.expr(s.Chan, st)
+		w.transferAll(s.Value, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			// Returning the value transfers ownership to the caller.
+			w.transferAll(e, st)
+		}
+		w.checkLeaks(st, s.Pos())
+		return true
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.BlockStmt:
+		return w.seq(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.seq(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		merge(st, thenSt, thenTerm, elseSt, elseTerm)
+		return thenTerm && elseTerm
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		w.seq(s.Body.List, bodySt)
+		// The loop may run zero times: keep the entry state, but adopt
+		// releases that happen on every iteration path too? No — zero
+		// iterations means no release; the entry state is the safe one.
+		return isForever(s)
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		bodySt := st.clone()
+		w.seq(s.Body.List, bodySt)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.cases(s, st)
+	case *ast.GoStmt:
+		// Spawning with the value is a hand-off to the goroutine.
+		for _, a := range s.Call.Args {
+			w.transferAll(a, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Values captured by the goroutine body transfer too.
+			w.transferMentioned(fl.Body, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	}
+	return false
+}
+
+// isForever reports whether a for statement can never fall through: no
+// condition and no break at its own level.
+func isForever(s *ast.ForStmt) bool {
+	if s.Cond != nil {
+		return false
+	}
+	hasBreak := false
+	depth := 0
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+		case *ast.BranchStmt:
+			b := n.(*ast.BranchStmt)
+			if b.Tok.String() == "break" && (depth == 0 || b.Label != nil) {
+				hasBreak = true
+			}
+		}
+		return !hasBreak
+	})
+	return !hasBreak
+}
+
+// merge folds two branch states back into st, keeping each value's
+// weakest claim over the non-terminating paths: a value counts as
+// discharged after the branch point only if every fallthrough path
+// discharged it. Terminating branches settled their own accounts at
+// their return.
+func merge(st, thenSt state, thenTerm bool, elseSt state, elseTerm bool) {
+	for k := range st {
+		delete(st, k)
+	}
+	put := func(src state) {
+		for k, v := range src {
+			if cur, ok := st[k]; !ok || v < cur {
+				st[k] = v
+			}
+		}
+	}
+	if !thenTerm {
+		put(thenSt)
+	}
+	if !elseTerm {
+		put(elseSt)
+	}
+}
+
+// cases walks each clause of a switch/select from the current state and
+// merges the fallthrough states.
+func (w *walker) cases(s ast.Stmt, st state) (terminated bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	if len(clauses) == 0 {
+		return false
+	}
+	outs := make([]state, 0, len(clauses))
+	allTerm := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, st)
+			}
+			hasDefault = hasDefault || c.List == nil
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, st)
+			}
+			hasDefault = hasDefault || c.Comm == nil
+			body = c.Body
+		}
+		cSt := st.clone()
+		if !w.seq(body, cSt) {
+			outs = append(outs, cSt)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+		allTerm = false
+	}
+	// Merge all fallthrough states: each value keeps its weakest claim.
+	for k := range st {
+		delete(st, k)
+	}
+	for _, o := range outs {
+		for k, v := range o {
+			if cur, ok := st[k]; !ok || v < cur {
+				st[k] = v
+			}
+		}
+	}
+	return allTerm
+}
+
+// assign handles acquisitions, reassignments and retention escapes.
+func (w *walker) assign(s *ast.AssignStmt, st state) {
+	// First: reads on the RHS (releases, uses-after-release, nested
+	// acquisitions handed straight off).
+	selfAppend := map[types.Object]bool{}
+	for i, rhs := range s.Rhs {
+		if i < len(s.Lhs) {
+			if obj := w.localObj(s.Lhs[i]); obj != nil && isSelfAppend(w.pass, obj, rhs) {
+				// v = append(v, ...): still the same pooled backing store.
+				selfAppend[obj] = true
+				continue
+			}
+		}
+		w.expr(rhs, st)
+	}
+	for i, lhs := range s.Lhs {
+		// Retention: storing a tracked value into a field or element.
+		if i < len(s.Rhs) {
+			if tr := w.lookup(s.Rhs[i], st); tr != nil && st[tr] == live && !isLocalLValue(w.pass, lhs) {
+				w.pass.Reportf(s.Rhs[i].Pos(),
+					"pooled value %s stored into %s: retention outlives the request and races with the pool's next Get", tr.name, renderLValue(lhs))
+				st[tr] = handed // one report; ownership considered gone
+				continue
+			}
+		}
+		obj := w.localObj(lhs)
+		if obj == nil {
+			// Writing *through* a tracked pointer (*bp = buf) is fine —
+			// it mutates the pooled object, not the tracking.
+			continue
+		}
+		if selfAppend[obj] {
+			continue
+		}
+		// Acquisition?
+		if i < len(s.Rhs) && w.isAcquire(s.Rhs[i]) {
+			tr := &tracked{obj: obj, name: obj.Name(), acquired: s.Rhs[i]}
+			st[tr] = live
+			continue
+		}
+		// Wholesale reassignment of a tracked variable: deliberate
+		// discard — untrack.
+		for tr := range st {
+			if tr.obj == obj {
+				delete(st, tr)
+			}
+		}
+	}
+}
+
+// deferStmt marks values released by a deferred call for every
+// subsequent path.
+func (w *walker) deferStmt(s *ast.DeferStmt, st state) {
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if tr := w.lookupIdent(id, st); tr != nil {
+				tr.deferred = true
+				st[tr] = released
+			}
+			return true
+		})
+	}
+	for _, a := range s.Call.Args {
+		mark(a)
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if tr := w.lookupIdent(id, st); tr != nil {
+					tr.deferred = true
+					st[tr] = released
+				}
+			}
+			return true
+		})
+	}
+}
+
+// expr walks one expression: classifies calls, flags uses after
+// release, and treats hand-offs as releases.
+func (w *walker) expr(e ast.Expr, st state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A function literal capturing the value is a hand-off (it
+			// may run later, anywhere).
+			w.transferMentioned(n.Body, st)
+			return false
+		case *ast.CallExpr:
+			w.call(n, st)
+			return false
+		case *ast.CompositeLit:
+			// Packing the value into a literal transfers ownership to
+			// whatever carries the literal.
+			for _, elt := range n.Elts {
+				w.transferAll(elt, st)
+			}
+			return false
+		case *ast.Ident:
+			if tr := w.lookupIdent(n, st); tr != nil && st[tr] == released && !tr.deferred {
+				w.reportOnce(n, "pooled value %s used after release: the pool may already have handed it to another goroutine", tr.name)
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call: release, hand-off, or plain use.
+func (w *walker) call(c *ast.CallExpr, st state) {
+	// Walk nested calls in arguments first (evaluation order).
+	for _, a := range c.Args {
+		if inner, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+			w.call(inner, st)
+		}
+	}
+	if isBuiltin(w.pass, c.Fun) {
+		// append/len/cap/copy read the value without taking ownership —
+		// but a read after release is still a race.
+		for _, a := range c.Args {
+			w.checkUse(a, st)
+		}
+		return
+	}
+	fn := w.pass.CalleeFunc(c)
+	isRelease := fn != nil && isPoolPut(fn)
+	for _, a := range c.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			tr := w.lookupIdent(id, st)
+			if tr == nil {
+				return true
+			}
+			if st[tr] == released && !tr.deferred {
+				if isRelease {
+					w.reportOnce(id, "pooled value %s released twice: double Put corrupts the pool", tr.name)
+				} else {
+					w.reportOnce(id, "pooled value %s used after release: the pool may already have handed it to another goroutine", tr.name)
+				}
+				return true
+			}
+			// A Put settles the account for good; any other callee is a
+			// hand-off (or a lend — either way the duty is discharged,
+			// and a later Put by this function stays legal).
+			if isRelease {
+				st[tr] = released
+			} else if st[tr] == live {
+				st[tr] = handed
+			}
+			return true
+		})
+	}
+	// The function expression itself may mention tracked values
+	// (method receiver): a plain use.
+	w.checkUse(c.Fun, st)
+}
+
+// checkUse flags reads of released values inside e without
+// transferring anything.
+func (w *walker) checkUse(e ast.Expr, st state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if tr := w.lookupIdent(id, st); tr != nil && st[tr] == released && !tr.deferred {
+				w.reportOnce(id, "pooled value %s used after release: the pool may already have handed it to another goroutine", tr.name)
+			}
+		}
+		return true
+	})
+}
+
+// transferAll marks every tracked value mentioned in e as handed off
+// (after flagging any use-after-release).
+func (w *walker) transferAll(e ast.Expr, st state) {
+	w.expr(e, st)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if tr := w.lookupIdent(id, st); tr != nil && st[tr] == live {
+				st[tr] = handed
+			}
+		}
+		return true
+	})
+}
+
+// transferMentioned marks every tracked value mentioned anywhere under
+// n as handed off.
+func (w *walker) transferMentioned(n ast.Node, st state) {
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if id, ok := nn.(*ast.Ident); ok {
+			if tr := w.lookupIdent(id, st); tr != nil && st[tr] == live {
+				st[tr] = handed
+			}
+		}
+		return true
+	})
+}
+
+// checkLeaks reports every value still live at a return point.
+func (w *walker) checkLeaks(st state, pos token.Pos) {
+	for tr, s := range st {
+		if s == live && !tr.deferred {
+			if !w.reported[tr.acquired] {
+				w.reported[tr.acquired] = true
+				w.pass.Reportf(tr.acquired.Pos(),
+					"pooled value %s is not released or handed off on every return path: the pool silently stops recycling", tr.name)
+			}
+		}
+	}
+}
+
+// reportOnce emits one diagnostic per node.
+func (w *walker) reportOnce(n ast.Node, format string, args ...any) {
+	if w.reported[n] {
+		return
+	}
+	w.reported[n] = true
+	w.pass.Reportf(n.Pos(), format, args...)
+}
+
+// isAcquire reports whether e (possibly wrapped in a type assertion or
+// parens) is a pool acquisition.
+func (w *walker) isAcquire(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := w.pass.CalleeFunc(call)
+	return fn != nil && isPoolGet(fn)
+}
+
+// isPoolGet matches (*sync.Pool).Get and pool-getter functions
+// (GetRecords and naming siblings).
+func isPoolGet(fn *types.Func) bool {
+	if fn.Name() == "Get" && receiverIsSyncPool(fn) {
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Get") && strings.HasSuffix(fn.Name(), "s") && poolAdjacent(fn)
+}
+
+// isPoolPut matches (*sync.Pool).Put and pool-putter functions.
+func isPoolPut(fn *types.Func) bool {
+	if fn.Name() == "Put" && receiverIsSyncPool(fn) {
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Put") && poolAdjacent(fn)
+}
+
+// poolAdjacent reports whether fn lives in a package that participates
+// in the pooled-record protocol: the storage codec (GetRecords /
+// PutRecords) or a testdata mirror of it.
+func poolAdjacent(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return strings.HasSuffix(p, "/internal/server/storage") || !strings.Contains(p, "/")
+}
+
+// receiverIsSyncPool reports whether fn's receiver is sync.Pool or
+// *sync.Pool.
+func receiverIsSyncPool(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Pool" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// isBuiltin reports whether the call's function is a language builtin.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// isSelfAppend reports whether rhs is append(v, ...) for the same v.
+func isSelfAppend(pass *analysis.Pass, obj types.Object, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); !isB {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[first] == obj
+}
+
+// localObj resolves an lvalue expression to a plain local variable
+// object, nil for anything else (fields, derefs, indexes, blank).
+func (w *walker) localObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isLocalLValue reports whether lhs is a plain local variable (or
+// blank) — anything else (s.field, m[k], *p into a global) retains.
+func isLocalLValue(pass *analysis.Pass, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	if pass.TypesInfo.Defs[id] != nil {
+		return true
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	return ok && !v.IsField()
+}
+
+// renderLValue describes the retention target for the diagnostic.
+func renderLValue(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderLValue(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return renderLValue(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderLValue(e.X)
+	}
+	return "a non-local location"
+}
+
+// lookup resolves an expression to its tracked entry, nil if the
+// expression is not exactly a tracked identifier.
+func (w *walker) lookup(e ast.Expr, st state) *tracked {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.lookupIdent(id, st)
+}
+
+// lookupIdent resolves an identifier to its tracked entry.
+func (w *walker) lookupIdent(id *ast.Ident, st state) *tracked {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for tr := range st {
+		if tr.obj == obj {
+			return tr
+		}
+	}
+	return nil
+}

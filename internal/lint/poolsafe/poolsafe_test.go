@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/lint/linttest"
+	"github.com/pglp/panda/internal/lint/poolsafe"
+)
+
+func TestPoolSafe(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,132 @@
+// Package a is poolsafe golden testdata: pooled values are released or
+// handed off on every return path, and never touched after release.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFailed = errors.New("failed")
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// Record mirrors the storage codec's pooled batch element.
+type Record struct{ U, T int64 }
+
+var recPool = sync.Pool{New: func() any { s := make([]Record, 0, 8); return &s }}
+
+// GetRecords and PutRecords mirror the codec's pool wrappers; the
+// analyzer recognizes them by shape.
+func GetRecords() []Record  { return (*recPool.Get().(*[]Record))[:0] }
+func PutRecords(s []Record) { recPool.Put(&s) }
+
+// Balanced releases on both paths: clean.
+func Balanced(fail bool) error {
+	bp := bufs.Get().(*[]byte)
+	if fail {
+		bufs.Put(bp)
+		return errFailed
+	}
+	consume(*bp)
+	bufs.Put(bp)
+	return nil
+}
+
+// Leak forgets the error path: the pool silently stops recycling.
+func Leak(fail bool) error {
+	bp := bufs.Get().(*[]byte) // want "not released or handed off on every return path"
+	if fail {
+		return errFailed
+	}
+	bufs.Put(bp)
+	return nil
+}
+
+// DecodeLeak is the same bug in GetRecords clothing.
+func DecodeLeak(n int, fail bool) error {
+	recs := GetRecords() // want "not released or handed off on every return path"
+	for i := 0; i < n; i++ {
+		recs = append(recs, Record{U: int64(i)})
+	}
+	if fail {
+		return errFailed
+	}
+	PutRecords(recs)
+	return nil
+}
+
+// UseAfterPut touches the buffer after returning it to the pool: a
+// race with the next Get.
+func UseAfterPut() byte {
+	bp := bufs.Get().(*[]byte)
+	bufs.Put(bp)
+	return (*bp)[0] // want "used after release"
+}
+
+// DoublePut corrupts the pool.
+func DoublePut() {
+	bp := bufs.Get().(*[]byte)
+	bufs.Put(bp)
+	bufs.Put(bp) // want "released twice"
+}
+
+type holder struct{ buf *[]byte }
+
+// Retain stores the pooled buffer into a struct field that outlives
+// the request.
+func Retain(h *holder) {
+	bp := bufs.Get().(*[]byte)
+	h.buf = bp // want "stored into h\\.buf"
+}
+
+type batch struct{ recs []Record }
+
+// Enqueue hands the batch to the drain worker over a channel: the
+// receiving side inherits the release duty, so this is clean.
+func Enqueue(ch chan batch) {
+	recs := GetRecords()
+	recs = append(recs, Record{U: 1})
+	ch <- batch{recs: recs}
+}
+
+// Deferred releases via defer: clean on every path, including the
+// reads that follow the defer.
+func Deferred(fail bool) (int, error) {
+	bp := bufs.Get().(*[]byte)
+	defer bufs.Put(bp)
+	if fail {
+		return 0, errFailed
+	}
+	return len(*bp), nil
+}
+
+// HandOff transfers ownership by calling into the next layer, exactly
+// like the handler handing records to the ingest queue.
+func HandOff(fail bool) error {
+	recs := GetRecords()
+	if fail {
+		PutRecords(recs)
+		return errFailed
+	}
+	return apply(recs)
+}
+
+// Lend passes the buffer to a borrower and then releases it itself: a
+// lend followed by Put is legal, not a double release.
+func Lend() {
+	bp := bufs.Get().(*[]byte)
+	consume(*bp)
+	bufs.Put(bp)
+}
+
+// Stash is Retain with the documented exception: the holder owns the
+// buffer for its whole lifetime by design.
+func Stash(h *holder) {
+	bp := bufs.Get().(*[]byte)
+	//panda:allow poolsafe — holder owns the buffer for its whole lifetime
+	h.buf = bp
+}
+
+func consume(p []byte) int    { return len(p) }
+func apply(rs []Record) error { return nil }

@@ -1,0 +1,63 @@
+// Package a is wirecode golden testdata: error codes on the wire come
+// from the registry in internal/server/wire, never from ad-hoc strings.
+package a
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/pglp/panda/internal/server/wire"
+)
+
+// writeError is shaped like the repo's error writers (v2Error,
+// routerError): ResponseWriter plus a string parameter named "code".
+// Forwarding that parameter into the envelope is the blessed idiom —
+// the writer's own call sites carry the proof obligation.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(wire.Error{Error: msg, Code: code})
+}
+
+// Registered passes a wire constant: fine.
+func Registered(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "negative window")
+}
+
+// AdHoc invents a code at the call site, invisible to clients matching
+// on the registry.
+func AdHoc(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "bad_window", "negative window") // want "must be a constant registered in internal/server/wire"
+}
+
+// Envelope builds a wire.Error directly with an unregistered literal.
+func Envelope() wire.Error {
+	return wire.Error{
+		Error: "boom",
+		Code:  "boom", // want "wire\\.Error\\.Code must be a constant registered"
+	}
+}
+
+// apiErr mirrors the client's error type: a Code field outside the
+// envelope.
+type apiErr struct {
+	Code    string
+	Message string
+}
+
+// StraySentinel smuggles an unregistered sentinel through a non-wire
+// struct.
+func StraySentinel() apiErr {
+	return apiErr{Code: "unknown", Message: "no body"} // want "ad-hoc error code literal"
+}
+
+// Copied moves a decoded code around: reading codes is always fine.
+func Copied(e wire.Error) apiErr {
+	return apiErr{Code: e.Code, Message: e.Error}
+}
+
+// Probe is an internal diagnostic envelope that never reaches clients;
+// the directive documents why its literal is exempt.
+func Probe() apiErr {
+	//panda:allow wirecode — internal probe sentinel, never serialized to clients
+	return apiErr{Code: "probe"}
+}

@@ -1,0 +1,216 @@
+// Package wirecode pins the uniform {error, code} envelope contract of
+// API.md: every machine-readable error code written by the server or
+// the cluster router must be a constant registered in
+// internal/server/wire, so the code set clients program against cannot
+// drift one handler at a time.
+//
+// Three complementary checks:
+//
+//  1. Error-writer calls. A call to a function shaped like an error
+//     writer — it takes both an http.ResponseWriter and a string
+//     parameter named "code" (v2Error, routerError, and any future
+//     sibling match structurally) — must pass a wire-registered
+//     constant as the code argument. String literals and arbitrary
+//     variables are flagged; forwarding a parameter itself named "code"
+//     is allowed, because the forwarding function is then an error
+//     writer checked at its own call sites.
+//
+//  2. Envelope literals. A composite literal of wire.Error must set
+//     Code to a wire-registered constant (or forward a "code"
+//     parameter, same rule as above).
+//
+//  3. Stray code literals. Any other struct literal in scope assigning
+//     a raw string literal to a field named Code of string type — the
+//     client's APIError, for instance — is flagged: sentinels belong in
+//     the wire registry too, or they are invisible to clients matching
+//     on codes.
+//
+// Reading codes is always fine: decoding a response and copying e.Code
+// around never trips the analyzer — only writing an unregistered
+// literal does.
+package wirecode
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/pglp/panda/internal/lint/analysis"
+)
+
+// Analyzer enforces the registered-error-code contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecode",
+	Doc:  "HTTP error codes must be constants registered in internal/server/wire, never ad-hoc string literals",
+	Run:  run,
+}
+
+// wirePkg reports whether path is the wire registry package. Testdata
+// mirrors use a bare "wire" path; the real package ends in
+// /internal/server/wire.
+func wirePkg(path string) bool {
+	return path == "wire" || strings.HasSuffix(path, "/internal/server/wire")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if wirePkg(pass.Pkg.Path()) {
+		// The registry itself declares the constants; nothing to check.
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkErrorWriterCall(pass, n)
+		case *ast.CompositeLit:
+			checkLiteral(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkErrorWriterCall applies rule 1.
+func checkErrorWriterCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	idx := errorWriterCodeParam(fn)
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[idx]
+	if registeredCode(pass, arg) || forwardsCodeParam(pass, arg) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"error code passed to %s must be a constant registered in internal/server/wire", fn.Name())
+}
+
+// errorWriterCodeParam returns the index of fn's `code string`
+// parameter if fn is shaped like an error writer (it also takes an
+// http.ResponseWriter), -1 otherwise.
+func errorWriterCodeParam(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	codeIdx, hasWriter := -1, false
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() == "code" {
+			if basic, ok := p.Type().(*types.Basic); ok && basic.Kind() == types.String {
+				codeIdx = i
+			}
+		}
+		if isResponseWriter(p.Type()) {
+			hasWriter = true
+		}
+	}
+	if !hasWriter {
+		return -1
+	}
+	return codeIdx
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	return isNamedType(t, "net/http", "ResponseWriter")
+}
+
+// checkLiteral applies rules 2 and 3 to one composite literal.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	t = deref(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	isWireError := named.Obj().Name() == "Error" && named.Obj().Pkg() != nil && wirePkg(named.Obj().Pkg().Path())
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if !isStringField(pass, kv.Value) {
+			continue
+		}
+		switch {
+		case registeredCode(pass, kv.Value) || forwardsCodeParam(pass, kv.Value):
+		case isWireError:
+			// Rule 2: the envelope itself takes only registered codes.
+			pass.Reportf(kv.Value.Pos(),
+				"wire.Error.Code must be a constant registered in internal/server/wire")
+		default:
+			// Rule 3: other Code fields may be copies of decoded values,
+			// but a raw literal is an unregistered sentinel.
+			if _, isLit := ast.Unparen(kv.Value).(*ast.BasicLit); isLit {
+				pass.Reportf(kv.Value.Pos(),
+					"ad-hoc error code literal: register the sentinel as a constant in internal/server/wire")
+			}
+		}
+	}
+}
+
+// isStringField reports whether the expression has string type.
+func isStringField(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// registeredCode reports whether e resolves to a constant declared in
+// the wire package.
+func registeredCode(pass *analysis.Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && wirePkg(c.Pkg().Path())
+}
+
+// forwardsCodeParam reports whether e is an identifier bound to a
+// parameter named "code" — the error-writer forwarding idiom, checked
+// at the writer's own call sites instead.
+func forwardsCodeParam(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "code" {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	return ok && !v.IsField()
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

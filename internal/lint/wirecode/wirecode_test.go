@@ -1,0 +1,12 @@
+package wirecode_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/lint/linttest"
+	"github.com/pglp/panda/internal/lint/wirecode"
+)
+
+func TestWireCode(t *testing.T) {
+	linttest.Run(t, wirecode.Analyzer, "testdata/src/a")
+}

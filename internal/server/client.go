@@ -259,7 +259,7 @@ func apiErrorFromResponse(resp *http.Response, body []byte) *APIError {
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
 		code := e.Code
 		if code == "" {
-			code = "unknown" // /v1 envelopes carry no code
+			code = wire.CodeUnknown // /v1 envelopes carry no code
 		}
 		hint := time.Duration(e.RetryAfterMS) * time.Millisecond
 		if hint <= 0 {
@@ -270,7 +270,7 @@ func apiErrorFromResponse(resp *http.Response, body []byte) *APIError {
 			RetryAfter: hint, Node: e.Node,
 		}
 	}
-	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status, RetryAfter: headerHint}
+	return &APIError{Status: resp.StatusCode, Code: wire.CodeUnknown, Message: resp.Status, RetryAfter: headerHint}
 }
 
 // retryAfterHeader parses a Retry-After header's delay-seconds form
@@ -498,7 +498,14 @@ func (c *Client) reportBinary(ctx context.Context, user int, releases []wire.Rel
 		return err
 	}
 	bp := binaryBufs.Get().(*[]byte)
-	defer func() { *bp = (*bp)[:0]; binaryBufs.Put(bp) }()
+	defer func() {
+		// Oversized encode buffers (a maximum batch is multiple MB) go
+		// to the GC rather than staying pinned in the pool.
+		if cap(*bp) <= maxPooledBody {
+			*bp = (*bp)[:0]
+			binaryBufs.Put(bp)
+		}
+	}()
 	*bp = wire.AppendBinaryReport((*bp)[:0], user, ver, releases)
 	err = c.doBytes(ctx, http.MethodPost, path, wire.ContentTypeBinary, *bp, out)
 	if err != nil && c.adoptStalePolicy(user, err) {

@@ -210,6 +210,22 @@ var binaryBodies = sync.Pool{
 	},
 }
 
+// maxPooledBody caps the capacity a recycled body (or client encode)
+// buffer may retain: a maximum-size binary body is ~5.6 MB, and pooling
+// one pins it for the process lifetime. Outliers above the cap are left
+// to the GC; typical bodies keep recycling.
+const maxPooledBody = 1 << 20
+
+// putBinaryBody returns a readBinaryBody buffer to the pool, dropping
+// oversized outliers instead of pinning them.
+func putBinaryBody(bp *[]byte) {
+	if cap(*bp) > maxPooledBody {
+		return
+	}
+	*bp = (*bp)[:0]
+	binaryBodies.Put(bp)
+}
+
 // readBinaryBody reads r into a pooled buffer, bounded by maxBinaryBody.
 // The returned pointer must go back via binaryBodies.Put when the bytes
 // are dead.
@@ -245,7 +261,7 @@ func (s *Server) v2ReportsBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bp, err := readBinaryBody(r.Body)
-	defer binaryBodies.Put(bp)
+	defer putBinaryBody(bp)
 	if err != nil {
 		v2Error(w, http.StatusBadRequest, wire.CodeBadRequest, "reading binary report: %v", err)
 		return

@@ -100,11 +100,20 @@ func GetRecords() []Record {
 	return (*recordSlices.Get().(*[]Record))[:0]
 }
 
+// maxPooledRecords caps the capacity PutRecords hands back to the pool.
+// One maximum-size binary batch is 100k records — about 5.6 MB of
+// backing array — and a single such outlier would otherwise stay pinned
+// in the pool for the life of the process, multiplied by however many
+// lanes saw one. Above the cap the slice goes to the GC instead;
+// steady-state batches keep recycling.
+const maxPooledRecords = 1 << 14
+
 // PutRecords recycles a slice obtained from GetRecords (or any record
 // slice the caller owns outright). The caller must not use s afterward;
 // sinks and stores honor this by never retaining batch slices.
+// Oversized outliers (see maxPooledRecords) are dropped, not pooled.
 func PutRecords(s []Record) {
-	if s == nil {
+	if s == nil || cap(s) > maxPooledRecords {
 		return
 	}
 	s = s[:0]

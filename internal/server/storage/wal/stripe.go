@@ -139,6 +139,16 @@ func (st *stripe) recover() error {
 // openSegmentLocked opens segment seq for appending, writing the file
 // header if the file is new (or was truncated to empty). Callers hold
 // st.mu (or are the single-threaded recovery).
+//
+// The header is flushed but deliberately not fsynced here: openSegment
+// runs under st.mu (rotation swings appends to the new segment with
+// the stripe locked), and an fsync there would stall every writer of
+// the stripe on device latency. Durability does not need it. A
+// headerless or empty file can only ever be the stripe's newest
+// segment — rotation seals (fsyncs) the old segment before creating
+// the next one — and recovery truncates a headerless newest segment to
+// empty and rewrites the header. The first group-commit fsync on the
+// new file covers the header along with the appends it acknowledges.
 func (st *stripe) openSegmentLocked(seq uint64) error {
 	path := filepath.Join(st.dir, segmentName(seq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -157,10 +167,6 @@ func (st *stripe) openSegmentLocked(seq uint64) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := w.Flush(); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: %w", err)
-		}
-		if err := f.Sync(); err != nil {
 			f.Close()
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -273,20 +279,43 @@ func (st *stripe) maybeKickLocked() {
 	}
 }
 
-// closeLocked flushes, fsyncs and closes the active segment, recording
-// the first failure in st.err. Callers hold st.mu.
-func (st *stripe) closeLocked() {
+// close seals the stripe: flush and mark closed under mu, then fsync
+// and close the segment under fsyncMu alone — the same split the
+// append path uses, so a slow device never holds the stripe mutex
+// hostage, and stripes close in parallel. Marking closed under mu
+// first means any writer arriving after the flush appends nothing;
+// fsyncMu serializes the final fsync with an in-flight group commit,
+// so the file cannot be closed underneath one. Returns the stripe's
+// sticky error state; safe to call once (Close's closeMu guards it).
+func (st *stripe) close() error {
+	st.mu.Lock()
 	if st.closed {
-		return
+		err := st.err
+		st.mu.Unlock()
+		return err
 	}
 	st.closed = true
 	if flushErr := st.w.Flush(); flushErr != nil && st.err == nil {
 		st.err = fmt.Errorf("wal: flush: %w", flushErr)
 	}
-	if syncErr := st.f.Sync(); syncErr != nil && st.err == nil {
-		st.err = fmt.Errorf("wal: fsync: %w", syncErr)
+	f := st.f
+	st.mu.Unlock()
+
+	st.fsyncMu.Lock()
+	var sealErr error
+	if syncErr := f.Sync(); syncErr != nil {
+		sealErr = fmt.Errorf("wal: fsync: %w", syncErr)
 	}
-	if closeErr := st.f.Close(); closeErr != nil && st.err == nil {
-		st.err = fmt.Errorf("wal: close: %w", closeErr)
+	if closeErr := f.Close(); closeErr != nil && sealErr == nil {
+		sealErr = fmt.Errorf("wal: close: %w", closeErr)
 	}
+	st.fsyncMu.Unlock()
+
+	st.mu.Lock()
+	if sealErr != nil && st.err == nil {
+		st.err = sealErr
+	}
+	err := st.err
+	st.mu.Unlock()
+	return err
 }

@@ -26,6 +26,12 @@ const (
 	// CodeUnsupportedMedia rejects a POST /v2/reports whose Content-Type
 	// is neither JSON nor the binary record format (415).
 	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeUnknown is the client-side sentinel for a response that did
+	// not carry a code: a /v1 envelope (those predate codes and are
+	// frozen without them) or a non-envelope body from an intermediary.
+	// Servers never send it; clients matching on codes can treat it as
+	// "inspect the HTTP status instead".
+	CodeUnknown = "unknown"
 )
 
 // Error is the uniform /v2 error envelope. Every non-2xx response body
