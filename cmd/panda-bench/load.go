@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
@@ -163,7 +164,7 @@ func runLoad(cfg loadConfig) error {
 		fmt.Printf("load: in-process server at %s (32x32 grid, %d store shards, %s)\n", base, stripes, mode)
 	} else {
 		if cfg.durable {
-			return fmt.Errorf("-ldurable only applies to the in-process server (drop -url)")
+			return errors.New("-ldurable only applies to the in-process server (drop -url)")
 		}
 		fmt.Printf("load: targeting %s\n", base)
 	}
@@ -337,7 +338,7 @@ func runIngestPhase(cfg loadConfig, base string, hc *http.Client, binary bool) (
 					if err == nil && ack.SyncFallback {
 						// Fail fast: labeling sync latencies as async ack
 						// percentiles would be exactly the wrong number.
-						fail(fmt.Errorf("-lasync: target server has async ingest disabled (sync fallback)"))
+						fail(errors.New("-lasync: target server has async ingest disabled (sync fallback)"))
 						return
 					}
 				case binary:
@@ -392,7 +393,7 @@ func awaitDrain(ctx context.Context, base string, hc *http.Client) error {
 			return fmt.Errorf("polling ingest stats: %w", err)
 		}
 		if !st.Enabled {
-			return fmt.Errorf("-lasync: target server has async ingest disabled")
+			return errors.New("-lasync: target server has async ingest disabled")
 		}
 		if st.Depth == 0 {
 			fmt.Printf("load: ingest queue drained in %v after last ack (%d drained, %d rejected 429s, lag %.1fms)\n",

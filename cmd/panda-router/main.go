@@ -69,7 +69,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		return err
 	}
 	if *ringPath == "" {
-		return fmt.Errorf("-ring is required")
+		return errors.New("-ring is required")
 	}
 	ring, err := cluster.LoadRing(*ringPath)
 	if err != nil {

@@ -111,7 +111,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		return err
 	}
 	if (*clusterRing == "") != (*clusterNode == "") {
-		return fmt.Errorf("-cluster-ring and -cluster-node must be set together")
+		return errors.New("-cluster-ring and -cluster-node must be set together")
 	}
 
 	grid, err := geo.NewGrid(*rows, *cols, *cell)

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -37,7 +38,7 @@ func NewBayesian(grid *geo.Grid, prior []float64) (*Bayesian, error) {
 		s += v
 	}
 	if s <= 0 {
-		return nil, fmt.Errorf("adversary: prior has zero mass")
+		return nil, errors.New("adversary: prior has zero mass")
 	}
 	for i, v := range prior {
 		p[i] = v / s
@@ -318,7 +319,7 @@ func TrackingError(grid *geo.Grid, m mechanism.Mechanism, chain *markov.Chain, t
 		return 0, err
 	}
 	if len(truth) == 0 {
-		return 0, fmt.Errorf("adversary: empty trajectory")
+		return 0, errors.New("adversary: empty trajectory")
 	}
 	var sum float64
 	for _, s := range truth {

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -24,7 +25,7 @@ func ReconstructTrajectory(grid *geo.Grid, m mechanism.Mechanism, chain *markov.
 			chain.NumStates(), grid.NumCells())
 	}
 	if len(released) == 0 {
-		return nil, fmt.Errorf("adversary: no released locations")
+		return nil, errors.New("adversary: no released locations")
 	}
 	n := grid.NumCells()
 	likelihoods := make([][]float64, len(released))
@@ -65,7 +66,7 @@ type ReconstructionReport struct {
 // and measures how well Viterbi decoding recovers it.
 func ReconstructionError(grid *geo.Grid, m mechanism.Mechanism, chain *markov.Chain, truth []int, rng *rand.Rand) (ReconstructionReport, error) {
 	if len(truth) == 0 {
-		return ReconstructionReport{}, fmt.Errorf("adversary: empty trajectory")
+		return ReconstructionReport{}, errors.New("adversary: empty trajectory")
 	}
 	released := make([]geo.Point, len(truth))
 	for t, s := range truth {

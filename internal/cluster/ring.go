@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/url"
 	"os"
@@ -52,7 +53,7 @@ func ParseRing(data []byte) (*Ring, error) {
 		return nil, fmt.Errorf("cluster: ring needs partitions >= 1, got %d", r.Partitions)
 	}
 	if len(r.Nodes) == 0 {
-		return nil, fmt.Errorf("cluster: ring has no nodes")
+		return nil, errors.New("cluster: ring has no nodes")
 	}
 	r.owner = make([]int, r.Partitions)
 	for i := range r.owner {

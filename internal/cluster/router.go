@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -71,7 +72,7 @@ type Router struct {
 // up; call Start to run the background prober.
 func New(cfg Config) (*Router, error) {
 	if cfg.Ring == nil {
-		return nil, fmt.Errorf("cluster: router needs a ring")
+		return nil, errors.New("cluster: router needs a ring")
 	}
 	rt := &Router{
 		ring:       cfg.Ring,

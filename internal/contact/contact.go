@@ -1,6 +1,7 @@
 package contact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -79,7 +80,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("contact: MinCoLocations must be ≥ 1, got %d", c.MinCoLocations)
 	}
 	if c.Kind == "" {
-		return fmt.Errorf("contact: mechanism kind required")
+		return errors.New("contact: mechanism kind required")
 	}
 	return nil
 }
@@ -125,7 +126,7 @@ func Trace(ds *trace.Dataset, base *policygraph.Graph, patients []int, cfg Confi
 		return nil, err
 	}
 	if len(patients) == 0 {
-		return nil, fmt.Errorf("contact: no diagnosed patients")
+		return nil, errors.New("contact: no diagnosed patients")
 	}
 	isPatient := make(map[int]bool, len(patients))
 	patientTrajs := make(map[int][]int, len(patients))
@@ -234,7 +235,7 @@ func StaticBaseline(ds *trace.Dataset, base *policygraph.Graph, patients []int, 
 		return nil, err
 	}
 	if len(patients) == 0 {
-		return nil, fmt.Errorf("contact: no diagnosed patients")
+		return nil, errors.New("contact: no diagnosed patients")
 	}
 	isPatient := make(map[int]bool, len(patients))
 	patientTrajs := make(map[int][]int, len(patients))

@@ -1,6 +1,7 @@
 package contact
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -50,7 +51,7 @@ func TraceIterative(ds *trace.Dataset, base *policygraph.Graph, initialPatients 
 		return nil, fmt.Errorf("contact: maxRounds must be ≥ 1, got %d", maxRounds)
 	}
 	if len(initialPatients) == 0 {
-		return nil, fmt.Errorf("contact: no initial patients")
+		return nil, errors.New("contact: no initial patients")
 	}
 	infectedSet := make(map[int]bool, len(infected))
 	for _, u := range infected {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -61,7 +62,7 @@ func NewDynamicReleaser(grid *geo.Grid, policy Policy, kind mechanism.Kind, chai
 		return nil, err
 	}
 	if chain == nil || chain.NumStates() != grid.NumCells() {
-		return nil, fmt.Errorf("core: mobility chain must cover the grid")
+		return nil, errors.New("core: mobility chain must cover the grid")
 	}
 	if delta < 0 || delta >= 1 || math.IsNaN(delta) {
 		return nil, fmt.Errorf("core: delta must be in [0,1), got %v", delta)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -28,7 +29,7 @@ func NewPolicy(eps float64, g *policygraph.Graph) (Policy, error) {
 // Validate checks the policy invariants.
 func (p Policy) Validate() error {
 	if p.Graph == nil {
-		return fmt.Errorf("core: policy has no graph")
+		return errors.New("core: policy has no graph")
 	}
 	if p.Epsilon <= 0 || math.IsNaN(p.Epsilon) || math.IsInf(p.Epsilon, 0) {
 		return fmt.Errorf("core: epsilon must be positive and finite, got %v", p.Epsilon)

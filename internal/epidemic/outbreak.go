@@ -1,6 +1,7 @@
 package epidemic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -120,10 +121,10 @@ func SimulateOutbreak(ds *trace.Dataset, cfg OutbreakConfig) (*Outbreak, error) 
 		return nil, fmt.Errorf("epidemic: transmission probability %v outside [0,1]", cfg.TransmissionProb)
 	}
 	if cfg.ExposedSteps < 0 || cfg.InfectiousSteps < 1 {
-		return nil, fmt.Errorf("epidemic: need ExposedSteps ≥ 0 and InfectiousSteps ≥ 1")
+		return nil, errors.New("epidemic: need ExposedSteps ≥ 0 and InfectiousSteps ≥ 1")
 	}
 	if len(cfg.Seeds) == 0 {
-		return nil, fmt.Errorf("epidemic: no seed cases")
+		return nil, errors.New("epidemic: no seed cases")
 	}
 	nu := ds.NumUsers()
 	rng := dp.NewRand(cfg.Seed)
@@ -213,7 +214,7 @@ func ContactRate(ds *trace.Dataset) (float64, error) {
 	}
 	nu := ds.NumUsers()
 	if nu == 0 {
-		return 0, fmt.Errorf("epidemic: empty dataset")
+		return 0, errors.New("epidemic: empty dataset")
 	}
 	var contacts float64
 	for t := 0; t < ds.Steps; t++ {

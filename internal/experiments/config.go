@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pglp/panda/internal/core"
@@ -73,7 +74,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("experiments: invalid population %d users %d steps", c.Users, c.Steps)
 	}
 	if len(c.Epsilons) == 0 {
-		return fmt.Errorf("experiments: no epsilons")
+		return errors.New("experiments: no epsilons")
 	}
 	for _, e := range c.Epsilons {
 		if e <= 0 {
@@ -81,10 +82,10 @@ func (c Config) Validate() error {
 		}
 	}
 	if c.UtilitySamples <= 0 || c.AdversaryRounds <= 0 {
-		return fmt.Errorf("experiments: non-positive sampling budgets")
+		return errors.New("experiments: non-positive sampling budgets")
 	}
 	if c.MonitorBlock <= 0 || c.AnalysisBlock <= 0 {
-		return fmt.Errorf("experiments: non-positive block sizes")
+		return errors.New("experiments: non-positive block sizes")
 	}
 	return nil
 }

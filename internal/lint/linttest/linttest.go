@@ -20,6 +20,7 @@
 package linttest
 
 import (
+	"errors"
 	"fmt"
 	"regexp"
 	"strconv"
@@ -134,7 +135,7 @@ func parseWant(text string) ([]*regexp.Regexp, error) {
 		text = text[end+2:]
 	}
 	if len(res) == 0 {
-		return nil, fmt.Errorf("want comment carries no expectation")
+		return nil, errors.New("want comment carries no expectation")
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -76,7 +77,7 @@ func (f *Filter) Update(likelihood func(s int) float64) error {
 		total += post[s]
 	}
 	if total <= 0 {
-		return fmt.Errorf("markov: observation has zero likelihood under current belief")
+		return errors.New("markov: observation has zero likelihood under current belief")
 	}
 	for s := range post {
 		post[s] /= total

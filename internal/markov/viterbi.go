@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -14,7 +15,7 @@ func Viterbi(chain *Chain, initial []float64, likelihoods [][]float64) ([]int, e
 	n := chain.NumStates()
 	T := len(likelihoods)
 	if T == 0 {
-		return nil, fmt.Errorf("markov: no observations")
+		return nil, errors.New("markov: no observations")
 	}
 	init := initial
 	if init == nil {
@@ -80,7 +81,7 @@ func Viterbi(chain *Chain, initial []float64, likelihoods [][]float64) ([]int, e
 		}
 	}
 	if math.IsInf(score[best], -1) {
-		return nil, fmt.Errorf("markov: no feasible path explains the observations")
+		return nil, errors.New("markov: no feasible path explains the observations")
 	}
 	path := make([]int, T)
 	path[T-1] = best

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -40,10 +41,10 @@ type base struct {
 
 func newBase(grid *geo.Grid, g *policygraph.Graph, eps float64) (base, error) {
 	if grid == nil {
-		return base{}, fmt.Errorf("mechanism: nil grid")
+		return base{}, errors.New("mechanism: nil grid")
 	}
 	if g == nil {
-		return base{}, fmt.Errorf("mechanism: nil policy graph")
+		return base{}, errors.New("mechanism: nil policy graph")
 	}
 	if g.NumNodes() != grid.NumCells() {
 		return base{}, fmt.Errorf("mechanism: policy graph over %d nodes, grid has %d cells",

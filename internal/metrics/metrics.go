@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,7 +18,7 @@ func MeanEuclideanError(grid *geo.Grid, truth []int, released []geo.Point) (floa
 		return 0, fmt.Errorf("metrics: %d truths vs %d releases", len(truth), len(released))
 	}
 	if len(truth) == 0 {
-		return 0, fmt.Errorf("metrics: empty series")
+		return 0, errors.New("metrics: empty series")
 	}
 	var sum float64
 	for i, s := range truth {
@@ -168,18 +169,18 @@ func (c Classification) F1() float64 {
 // error. Distributions must be equal length; they are renormalised.
 func KLDivergence(p, q []float64) (float64, error) {
 	if len(p) != len(q) || len(p) == 0 {
-		return 0, fmt.Errorf("metrics: KL needs equal non-empty distributions")
+		return 0, errors.New("metrics: KL needs equal non-empty distributions")
 	}
 	var sp, sq float64
 	for i := range p {
 		if p[i] < 0 || q[i] < 0 {
-			return 0, fmt.Errorf("metrics: negative mass")
+			return 0, errors.New("metrics: negative mass")
 		}
 		sp += p[i]
 		sq += q[i]
 	}
 	if sp == 0 || sq == 0 {
-		return 0, fmt.Errorf("metrics: zero-mass distribution")
+		return 0, errors.New("metrics: zero-mass distribution")
 	}
 	var d float64
 	for i := range p {
@@ -198,7 +199,7 @@ func KLDivergence(p, q []float64) (float64, error) {
 // TotalVariation returns TV(p, q) = ½Σ|p−q| after renormalisation.
 func TotalVariation(p, q []float64) (float64, error) {
 	if len(p) != len(q) || len(p) == 0 {
-		return 0, fmt.Errorf("metrics: TV needs equal non-empty distributions")
+		return 0, errors.New("metrics: TV needs equal non-empty distributions")
 	}
 	var sp, sq float64
 	for i := range p {
@@ -206,7 +207,7 @@ func TotalVariation(p, q []float64) (float64, error) {
 		sq += q[i]
 	}
 	if sp == 0 || sq == 0 {
-		return 0, fmt.Errorf("metrics: zero-mass distribution")
+		return 0, errors.New("metrics: zero-mass distribution")
 	}
 	var d float64
 	for i := range p {

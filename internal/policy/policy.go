@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,7 +59,7 @@ type Manager struct {
 // NewManager creates a manager handing out the given default policy.
 func NewManager(grid *geo.Grid, defaultGraph *policygraph.Graph, eps float64) (*Manager, error) {
 	if grid == nil || defaultGraph == nil {
-		return nil, fmt.Errorf("policy: nil grid or graph")
+		return nil, errors.New("policy: nil grid or graph")
 	}
 	if defaultGraph.NumNodes() != grid.NumCells() {
 		return nil, fmt.Errorf("policy: graph over %d nodes, grid has %d cells",

@@ -1,6 +1,7 @@
 package roadnet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -46,7 +47,7 @@ func FromCells(grid *geo.Grid, cells []int) (*RoadMap, error) {
 		}
 	}
 	if len(rm.roads) == 0 {
-		return nil, fmt.Errorf("roadnet: no road cells")
+		return nil, errors.New("roadnet: no road cells")
 	}
 	sort.Ints(rm.roads)
 	return rm, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -478,7 +479,7 @@ func (c *Client) ReportBatchAsyncContext(ctx context.Context, user int, releases
 	case out.Accepted != nil:
 		ack.Queued, ack.SyncFallback = *out.Accepted+out.Replaced, true
 	default:
-		return AsyncAck{}, fmt.Errorf("server client: unrecognized report acknowledgement")
+		return AsyncAck{}, errors.New("server client: unrecognized report acknowledgement")
 	}
 	return ack, nil
 }
@@ -558,7 +559,7 @@ func (c *Client) ReportBatchBinaryAsyncContext(ctx context.Context, user int, re
 	case out.Accepted != nil:
 		ack.Queued, ack.SyncFallback = *out.Accepted+out.Replaced, true
 	default:
-		return AsyncAck{}, fmt.Errorf("server client: unrecognized report acknowledgement")
+		return AsyncAck{}, errors.New("server client: unrecognized report acknowledgement")
 	}
 	return ack, nil
 }

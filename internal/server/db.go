@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pglp/panda/internal/geo"
@@ -42,7 +43,7 @@ func NewShardedDB(grid *geo.Grid, shards int) *DB {
 // the seam where alternative (persistent, remote) backends plug in.
 func NewDBOn(grid *geo.Grid, store Store) (*DB, error) {
 	if grid == nil || store == nil {
-		return nil, fmt.Errorf("server: nil grid or store")
+		return nil, errors.New("server: nil grid or store")
 	}
 	return &DB{grid: grid, store: store, engine: analytics.New(grid, store)}, nil
 }

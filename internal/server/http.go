@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -72,7 +73,7 @@ func NewServer(db *DB, mgr *policy.Manager) (*Server, error) {
 // applied.
 func NewServerOpts(db *DB, mgr *policy.Manager, o Options) (*Server, error) {
 	if db == nil || mgr == nil {
-		return nil, fmt.Errorf("server: nil db or policy manager")
+		return nil, errors.New("server: nil db or policy manager")
 	}
 	s := &Server{db: db, mgr: mgr}
 	if o.AsyncIngest {

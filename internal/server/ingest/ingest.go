@@ -3,7 +3,6 @@ package ingest
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -174,7 +173,7 @@ type Queue struct {
 // workers. The queue runs until Close.
 func New(sink Sink, cfg Config) (*Queue, error) {
 	if sink == nil {
-		return nil, fmt.Errorf("ingest: nil sink")
+		return nil, errors.New("ingest: nil sink")
 	}
 	cfg = cfg.withDefaults()
 	chCap := cfg.QueueDepth

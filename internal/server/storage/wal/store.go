@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -586,7 +587,7 @@ func (s *Store) compactStripe(st *stripe) error {
 	unlock := func() { st.mu.Unlock(); st.fsyncMu.Unlock() }
 	if st.closed {
 		unlock()
-		return fmt.Errorf("wal: store closed")
+		return errors.New("wal: store closed")
 	}
 	if st.err != nil {
 		err := st.err

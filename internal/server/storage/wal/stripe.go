@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -221,7 +222,7 @@ func (st *stripe) syncTo(n uint64) error {
 		return nil
 	}
 	if closed {
-		return fmt.Errorf("wal: store closed")
+		return errors.New("wal: store closed")
 	}
 	if serr := f.Sync(); serr != nil {
 		st.mu.Lock()
@@ -247,7 +248,7 @@ func (st *stripe) sync() error {
 	}
 	if st.closed {
 		st.mu.Unlock()
-		return fmt.Errorf("wal: store closed")
+		return errors.New("wal: store closed")
 	}
 	if err := st.w.Flush(); err != nil {
 		st.err = fmt.Errorf("wal: flush: %w", err)

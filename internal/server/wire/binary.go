@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -79,7 +80,7 @@ func DecodeBinaryReport(body []byte, maxRecords int, dst []storage.Record) (user
 	}
 	count := int(binary.LittleEndian.Uint32(body[4:]))
 	if count <= 0 {
-		return 0, 0, dst, fmt.Errorf("wire: binary report: empty batch: at least one release required")
+		return 0, 0, dst, errors.New("wire: binary report: empty batch: at least one release required")
 	}
 	if count > maxRecords {
 		return 0, 0, dst, fmt.Errorf("wire: binary report: batch of %d releases exceeds the limit of %d", count, maxRecords)

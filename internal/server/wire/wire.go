@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -272,7 +273,7 @@ func DecodeCursor(s string) (int, error) {
 	}
 	rest, ok := strings.CutPrefix(string(raw), cursorPrefix)
 	if !ok {
-		return 0, fmt.Errorf("wire: unknown cursor format")
+		return 0, errors.New("wire: unknown cursor format")
 	}
 	t, err := strconv.Atoi(rest)
 	if err != nil {

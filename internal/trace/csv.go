@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -93,7 +94,7 @@ func ReadCSV(r io.Reader, grid *geo.Grid) (*Dataset, error) {
 		}
 	}
 	if maxT < 0 {
-		return nil, fmt.Errorf("trace: empty dataset")
+		return nil, errors.New("trace: empty dataset")
 	}
 	steps := maxT + 1
 	ids := make([]int, 0, len(users))

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pglp/panda/internal/dp"
@@ -33,7 +34,7 @@ func (c GeoLifeConfig) validate() error {
 		return fmt.Errorf("trace: speed must be ≥ 1, got %d", c.Speed)
 	}
 	if c.PauseProb < 0 || c.PauseProb > 1 || c.HomeBias < 0 || c.HomeBias > 1 {
-		return fmt.Errorf("trace: probabilities must be in [0,1]")
+		return errors.New("trace: probabilities must be in [0,1]")
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -31,7 +32,7 @@ func DefaultGowalla() GowallaConfig {
 
 func (c GowallaConfig) validate(grid *geo.Grid) error {
 	if c.Users <= 0 || c.Steps <= 0 {
-		return fmt.Errorf("trace: users and steps must be positive")
+		return errors.New("trace: users and steps must be positive")
 	}
 	if c.Venues <= 0 || c.Venues > grid.NumCells() {
 		return fmt.Errorf("trace: venues must be in [1, %d], got %d", grid.NumCells(), c.Venues)
@@ -40,10 +41,10 @@ func (c GowallaConfig) validate(grid *geo.Grid) error {
 		return fmt.Errorf("trace: zipf exponent must be positive, got %v", c.ZipfS)
 	}
 	if c.Favorites <= 0 || c.Favorites > c.Venues {
-		return fmt.Errorf("trace: favorites must be in [1, venues]")
+		return errors.New("trace: favorites must be in [1, venues]")
 	}
 	if c.RevisitProb < 0 || c.RevisitProb > 1 {
-		return fmt.Errorf("trace: revisit probability must be in [0,1]")
+		return errors.New("trace: revisit probability must be in [0,1]")
 	}
 	return nil
 }

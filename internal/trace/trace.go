@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pglp/panda/internal/geo"
@@ -23,7 +24,7 @@ type Dataset struct {
 // of full length with in-range cells, and unique user IDs.
 func (d *Dataset) Validate() error {
 	if d.Grid == nil {
-		return fmt.Errorf("trace: dataset has no grid")
+		return errors.New("trace: dataset has no grid")
 	}
 	if d.Steps <= 0 {
 		return fmt.Errorf("trace: non-positive horizon %d", d.Steps)
