@@ -100,74 +100,11 @@ func (l *latencyRecorder) report(w *os.File, name string, n int) {
 // analytics endpoints (whose repeated queries exercise the engine's
 // cache). Returns a non-nil error on any failed request.
 func runLoad(cfg loadConfig) error {
-	base := cfg.url
-	stripes := cfg.stripes
-	if stripes < 1 {
-		stripes = 16
+	base, walStore, cleanup, err := startLoadTarget(cfg)
+	if err != nil {
+		return err
 	}
-	var walStore *wal.Store
-	if base == "" && cfg.cluster > 0 {
-		clusterBase, cleanup, err := startLoadCluster(cfg, stripes)
-		if err != nil {
-			return err
-		}
-		defer cleanup()
-		base = clusterBase
-	} else if base == "" {
-		grid := geo.MustGrid(32, 32, 1)
-		mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
-		if err != nil {
-			return err
-		}
-		var db *server.DB
-		if cfg.durable {
-			dir := cfg.dir
-			if dir == "" {
-				dir, err = os.MkdirTemp("", "panda-load-wal-*")
-				if err != nil {
-					return err
-				}
-				defer os.RemoveAll(dir)
-			}
-			sync := wal.SyncBuffered
-			if cfg.fsync {
-				sync = wal.SyncAlways
-			}
-			walStore, err = wal.Open(dir, wal.Options{Shards: stripes, Sync: sync})
-			if err != nil {
-				return err
-			}
-			defer walStore.Close()
-			db, err = server.NewDBOn(grid, walStore)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("load: durable store: wal in %s, sync=%s, %d stripes\n", dir, sync, stripes)
-		} else {
-			db = server.NewShardedDB(grid, stripes)
-		}
-		srv, err := server.NewServerOpts(db, mgr, server.Options{AsyncIngest: cfg.async})
-		if err != nil {
-			return err
-		}
-		if cfg.async {
-			// Drain acknowledged batches before the WAL store closes.
-			defer srv.DrainIngest(context.Background())
-		}
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
-		base = ts.URL
-		mode := "sync ingest"
-		if cfg.async {
-			mode = "async ingest"
-		}
-		fmt.Printf("load: in-process server at %s (32x32 grid, %d store shards, %s)\n", base, stripes, mode)
-	} else {
-		if cfg.durable {
-			return errors.New("-ldurable only applies to the in-process server (drop -url)")
-		}
-		fmt.Printf("load: targeting %s\n", base)
-	}
+	defer cleanup()
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.users + 8}}
 	ctx := context.Background()
 
@@ -266,6 +203,93 @@ func runLoad(cfg loadConfig) error {
 		ep.lat.report(os.Stdout, ep.name, conc*per)
 	}
 	return nil
+}
+
+// startLoadTarget boots the configured load target and returns its base
+// URL: N in-process nodes behind a cluster router (-lcluster), a single
+// in-process server, or an external -url. walStore is non-nil only for
+// the single in-process durable store (for post-ingest WAL stats).
+// cleanup tears everything down in dependency order; it is safe to call
+// exactly once, error or not. Shared by the load harness and the
+// scenario harness (scenario.go), so every transport/durability/cluster
+// combination behaves identically under both.
+func startLoadTarget(cfg loadConfig) (base string, walStore *wal.Store, cleanup func(), err error) {
+	stripes := cfg.stripes
+	if stripes < 1 {
+		stripes = 16
+	}
+	if cfg.url != "" {
+		if cfg.durable {
+			return "", nil, func() {}, errors.New("-ldurable only applies to the in-process server (drop -url)")
+		}
+		fmt.Printf("load: targeting %s\n", cfg.url)
+		return cfg.url, nil, func() {}, nil
+	}
+	if cfg.cluster > 0 {
+		base, cleanup, err = startLoadCluster(cfg, stripes)
+		return base, nil, cleanup, err
+	}
+
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			cleanup()
+		}
+	}()
+	grid := geo.MustGrid(32, 32, 1)
+	mgr, err := policy.NewManager(grid, policy.Baseline(grid), 1.0)
+	if err != nil {
+		return "", nil, cleanup, err
+	}
+	var db *server.DB
+	if cfg.durable {
+		dir := cfg.dir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "panda-load-wal-*")
+			if err != nil {
+				return "", nil, cleanup, err
+			}
+			tmp := dir
+			closers = append(closers, func() { os.RemoveAll(tmp) })
+		}
+		sync := wal.SyncBuffered
+		if cfg.fsync {
+			sync = wal.SyncAlways
+		}
+		walStore, err = wal.Open(dir, wal.Options{Shards: stripes, Sync: sync})
+		if err != nil {
+			return "", nil, cleanup, err
+		}
+		closers = append(closers, func() { walStore.Close() })
+		db, err = server.NewDBOn(grid, walStore)
+		if err != nil {
+			return "", nil, cleanup, err
+		}
+		fmt.Printf("load: durable store: wal in %s, sync=%s, %d stripes\n", dir, sync, stripes)
+	} else {
+		db = server.NewShardedDB(grid, stripes)
+	}
+	srv, err := server.NewServerOpts(db, mgr, server.Options{AsyncIngest: cfg.async})
+	if err != nil {
+		return "", nil, cleanup, err
+	}
+	if cfg.async {
+		// Drain acknowledged batches before the WAL store closes.
+		closers = append(closers, func() { srv.DrainIngest(context.Background()) })
+	}
+	ts := httptest.NewServer(srv.Handler())
+	closers = append(closers, ts.Close)
+	mode := "sync ingest"
+	if cfg.async {
+		mode = "async ingest"
+	}
+	fmt.Printf("load: in-process server at %s (32x32 grid, %d store shards, %s)\n", ts.URL, stripes, mode)
+	return ts.URL, walStore, cleanup, nil
 }
 
 // ingestResult summarizes one ingest pass.

@@ -54,6 +54,19 @@
 //
 //	panda-bench -load -lbinary
 //	panda-bench -load -lbinary -lasync -ldurable
+//
+// -lscenario replaces the uniform workload with a named city-scale
+// scenario (see internal/scenario): road-constrained commuter mobility
+// with SEIR-driven infection waves, streamed through the /v2 client and
+// scored end to end — ingest/ack latency percentiles, analytics cache
+// hit behavior under the scenario's spatial skew, adversary tracking
+// error replayed over what the server actually stored, and policy-graph
+// violation counts. Deterministic under -seed (see API.md for the
+// reproducibility contract); -lreport writes the NDJSON score report.
+// Composes with -lasync, -ldurable, -lbinary and -lcluster:
+//
+//	panda-bench -load -lscenario commuter -seed 42
+//	panda-bench -load -lscenario lockdown -lasync -lcluster 2 -lreport scenario.ndjson
 package main
 
 import (
@@ -87,6 +100,10 @@ func main() {
 		lStripes = flag.String("lstripes", "16", "load: WAL stripes / store shards; a comma list (e.g. 1,4,8) sweeps the ingest run per count")
 		lCluster = flag.Int("lcluster", 0, "load: run N in-process nodes behind an in-process cluster router (0 = single server)")
 		lBinary  = flag.Bool("lbinary", false, "load: report in the binary record format after a JSON baseline pass, printing the rate and allocs/release comparison")
+
+		lScenario = flag.String("lscenario", "", "load: run a named city-scale scenario (commuter, superspreader, lockdown) instead of the uniform workload and score it end to end")
+		lSample   = flag.Int("lsample", 8, "scenario: users the adversary replays against stored records")
+		lReport   = flag.String("lreport", "", "scenario: write the NDJSON score report to this path (empty = print to stdout)")
 	)
 	flag.Parse()
 
@@ -120,6 +137,25 @@ func main() {
 		if len(stripeRuns) > 1 && (!cfg.durable || cfg.url != "" || cfg.dir != "") {
 			fmt.Fprintln(os.Stderr, "panda-bench: an -lstripes sweep needs -ldurable, no -url, and no -ldir (each run opens a fresh WAL)")
 			os.Exit(2)
+		}
+		if *lScenario != "" {
+			if len(stripeRuns) > 1 {
+				fmt.Fprintln(os.Stderr, "panda-bench: -lscenario runs once (drop the -lstripes sweep)")
+				os.Exit(2)
+			}
+			if *lSample < 1 {
+				fmt.Fprintln(os.Stderr, "panda-bench: -lsample must be >= 1")
+				os.Exit(2)
+			}
+			cfg.stripes = stripeRuns[0]
+			scfg := scenarioConfig{
+				load: cfg, name: *lScenario, seed: *seed, sample: *lSample, report: *lReport,
+			}
+			if err := runScenario(scfg); err != nil {
+				fmt.Fprintf(os.Stderr, "panda-bench: scenario: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		for i, n := range stripeRuns {
 			if len(stripeRuns) > 1 {

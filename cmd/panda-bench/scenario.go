@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/pglp/panda/internal/scenario"
+)
+
+// scenarioConfig parameterizes a scenario harness run (-load -lscenario):
+// a named city-scale scenario streamed through the /v2 client against
+// the same target the load harness would boot, scored end to end.
+type scenarioConfig struct {
+	load   loadConfig // target/transport knobs shared with the load harness
+	name   string     // registered generator name
+	seed   uint64     // scenario seed (-seed)
+	sample int        // users the adversary replays (-lsample)
+	report string     // NDJSON score report path; empty = stdout only
+}
+
+// runScenario resolves the generator, boots the target, runs the plan,
+// and emits both the human summary and the NDJSON score report.
+func runScenario(cfg scenarioConfig) error {
+	gen, err := scenario.Lookup(cfg.name)
+	if err != nil {
+		return err
+	}
+	plan, err := gen.Plan(scenario.Config{Users: cfg.load.users, Steps: cfg.load.steps, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s — %s\n", gen.Name(), gen.Describe())
+
+	base, _, cleanup, err := startLoadTarget(cfg.load)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+	rep, err := scenario.Run(context.Background(), plan, scenario.RunConfig{
+		BaseURL: base,
+		HTTP:    hc,
+		Batch:   cfg.load.batch,
+		Queries: cfg.load.queries,
+		Sample:  cfg.sample,
+		Async:   cfg.load.async,
+		Binary:  cfg.load.binary,
+		Cluster: cfg.load.cluster,
+		Out:     os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	printScenarioReport(rep)
+	line, err := rep.NDJSON()
+	if err != nil {
+		return err
+	}
+	if cfg.report != "" {
+		if err := os.WriteFile(cfg.report, line, 0o644); err != nil {
+			return fmt.Errorf("writing -lreport: %w", err)
+		}
+		fmt.Printf("scenario: score report written to %s\n", cfg.report)
+	} else {
+		os.Stdout.Write(line)
+	}
+	return nil
+}
+
+// printScenarioReport renders the human-readable summary of a run.
+func printScenarioReport(rep *scenario.Report) {
+	s, tm := rep.Score, rep.Timing
+	fmt.Printf("scenario %s: %d users x %d steps, seed %d, %d waves, %d infected cells, %d policy versions\n",
+		rep.Scenario, rep.Config.Users, rep.Config.Steps, rep.Config.Seed,
+		s.Waves, s.InfectedCells, s.PolicyVersions)
+	fmt.Printf("  ingest     %d requests  p50 %.2fms p90 %.2fms p99 %.2fms (%.0f releases/sec, warmup %.0fms untimed)\n",
+		tm.IngestRequests, tm.IngestP50MS, tm.IngestP90MS, tm.IngestP99MS, tm.ReleasesPerSec, tm.WarmupMS)
+	if tm.DrainMS > 0 {
+		fmt.Printf("  drain      queue empty after %.0fms\n", tm.DrainMS)
+	}
+	fmt.Printf("  queries    %d requests  p50 %.2fms p99 %.2fms; cache %d hits / %d misses (%.1f%% hit rate)\n",
+		tm.QueryRequests, tm.QueryP50MS, tm.QueryP99MS, s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate)
+	fmt.Printf("  adversary  tracking error %.3f (floor %.2f), exact %.1f%%, top-%d %.1f%% over %d sampled users\n",
+		s.Adversary.TrackingError, s.Adversary.Floor, 100*s.Adversary.ExactRate,
+		s.Adversary.TopK, 100*s.Adversary.TopKRate, s.Adversary.SampledUsers)
+	fmt.Printf("  policy     %d records checked, %d violations, %d exact disclosures of isolated cells\n",
+		s.Policy.Checked, s.Policy.Violations, s.Policy.ExactDisclosures)
+	fmt.Printf("  utility    density L1 %.4f over %d timesteps\n", s.Utility.DensityL1, s.Utility.Timesteps)
+	fmt.Printf("  digests    trace %s, releases %s\n", s.TraceDigest, s.ReleaseDigest)
+}

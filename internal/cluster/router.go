@@ -116,6 +116,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/exposure", rt.handleExposure)
 	mux.HandleFunc("GET /v2/census", rt.handleCensus)
 	mux.HandleFunc("GET /v2/ingest/stats", rt.handleIngestStats)
+	mux.HandleFunc("GET /v2/analytics/stats", rt.handleAnalyticsStats)
 	mux.HandleFunc("GET /v2/healthz", rt.handleHealthz)
 	return mux
 }
@@ -580,6 +581,26 @@ func (rt *Router) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 		if resp.LagMS > merged.LagMS {
 			merged.LagMS = resp.LagMS
 		}
+	}
+	writeJSON(w, merged)
+}
+
+// handleAnalyticsStats merges the per-node analytics cache counters as
+// sums: each node caches its own partition's aggregates independently,
+// so the fleet-wide hit rate is the ratio of the summed counters.
+func (rt *Router) handleAnalyticsStats(w http.ResponseWriter, r *http.Request) {
+	resps, f := scatter[wire.AnalyticsStatsResponse](rt, r.Context(), http.MethodGet, pathWithQuery(r), nil)
+	if f != nil {
+		f.write(w, rt)
+		return
+	}
+	merged := resps[0]
+	for _, resp := range resps[1:] {
+		merged.Hits += resp.Hits
+		merged.Misses += resp.Misses
+		merged.DensityEntries += resp.DensityEntries
+		merged.ExposureEntries += resp.ExposureEntries
+		merged.CensusEntries += resp.CensusEntries
 	}
 	writeJSON(w, merged)
 }

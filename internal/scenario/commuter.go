@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"sort"
+
+	"github.com/pglp/panda/internal/roadnet"
+)
+
+func init() { Register("commuter", func() Generator { return commuter{} }) }
+
+// commuterInfectedCells bounds how many workplace cells the epidemic
+// marks infected across the whole run.
+const commuterInfectedCells = 24
+
+// commuterFloor is the scenario's adversary tracking-error floor (grid
+// units): the Viterbi attack against GLM releases at eps=1 stays above
+// it with margin; CI regressions that leak location drop below it.
+const commuterFloor = 0.2
+
+// commuter is the baseline city: every user commutes between a home and
+// a work street cell on the daily rhythm, with SEIR-sized infection
+// bursts at the most popular workplaces.
+type commuter struct{}
+
+func (commuter) Name() string { return "commuter" }
+
+func (commuter) Describe() string {
+	return "commuter city: road-constrained home/work rhythms, SEIR waves at popular workplaces"
+}
+
+func (commuter) Plan(cfg Config) (*Plan, error) {
+	base, err := newCityBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	waves, err := seirWaves(cfg, 4, commuterInfectedCells, base.workRank)
+	if err != nil {
+		return nil, err
+	}
+	plan := base.plan("commuter", waves, commuterFloor)
+	plan.traj = func(user int) []int {
+		rng := trajRNG(cfg.Seed, user)
+		home, work := userEndpoints(base.roads, rng)
+		return walkRhythm(base.df, rng, cfg.Steps, home, func(t int) int {
+			return commutePhase(t, home, work)
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// cityBase is the construction state shared by all city scenarios: the
+// map, the shared distance-field cache, and the workplace popularity
+// ranking that seeds infection sites.
+type cityBase struct {
+	cfg      Config
+	roads    *roadnet.RoadMap
+	df       *distField
+	workRank []int
+}
+
+func newCityBase(cfg Config) (*cityBase, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	_, roads, err := cityMap()
+	if err != nil {
+		return nil, err
+	}
+	b := &cityBase{cfg: cfg, roads: roads, df: newDistField(roads)}
+	works := make([]int, cfg.Users)
+	for u := range works {
+		rng := trajRNG(cfg.Seed, u)
+		_, works[u] = userEndpoints(roads, rng)
+	}
+	b.workRank = rankByCount(works)
+	return b, nil
+}
+
+// plan assembles the Plan skeleton (the caller fills traj).
+func (b *cityBase) plan(name string, waves []Wave, floor float64) *Plan {
+	return &Plan{
+		Name:  name,
+		Grid:  b.df.rm.Grid,
+		Roads: b.df.rm,
+		Chain: adversaryChain(b.df.rm),
+		Waves: waves,
+		Floor: floor,
+		Users: b.cfg.Users,
+		Steps: b.cfg.Steps,
+		Seed:  b.cfg.Seed,
+	}
+}
+
+// rankByCount returns the distinct cells of the list ordered by
+// descending occurrence count, ties by ascending cell ID.
+func rankByCount(cells []int) []int {
+	counts := map[int]int{}
+	for _, c := range cells {
+		counts[c]++
+	}
+	out := make([]int, 0, len(counts))
+	for c := range counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

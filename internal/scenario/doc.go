@@ -1,0 +1,21 @@
+// Package scenario is the city-scale scenario harness: pluggable
+// generators of realistic mobility (road-network-constrained commuter
+// rhythms, superspreader events, lockdown transitions) with SEIR-driven
+// infection waves, streamed through the /v2 client against a live
+// panda-server and scored end to end.
+//
+// A Generator turns a Config (users, steps, seed) into a Plan: a grid, a
+// road network, an adversary mobility model, a wave schedule, and a
+// deterministic per-user trajectory function. The Runner (see Run)
+// drives the plan against a server — policy warmup, per-wave infection
+// marking and policy renegotiation, client-side PGLP perturbation,
+// batched ingest, analytics queries — and computes the score report:
+// ingest/ack latency percentiles, analytics cache hit rates, adversary
+// tracking error (Viterbi and top-k replay over the server's stored
+// records), policy-graph violation counts, and density utility error.
+//
+// Everything downstream of the seed is deterministic: the same seed
+// produces byte-identical trace streams and score reports (timing
+// lives in a separate, non-deterministic Timing struct), which is what
+// lets CI pin the scenario scores as regression gates.
+package scenario

@@ -1,0 +1,56 @@
+package scenario
+
+func init() { Register("lockdown", func() Generator { return lockdown{} }) }
+
+const (
+	// lockdownInfectedCells bounds the cells marked infected across
+	// the run.
+	lockdownInfectedCells = 28
+	// lockdownFloor is the adversary tracking-error floor; higher than
+	// the commuter floor because users pinned at home are maximally
+	// predictable, so the mechanism's noise is all that protects them.
+	lockdownFloor = 0.2
+)
+
+// lockdown is the mobility-collapse scenario: commuter rhythms for the
+// first half of the run, then — at the wave boundary carrying the big
+// infection burst — everyone shelters at home. The transition stresses
+// exactly what the paper's dynamic-policy story cares about: a mass
+// policy renegotiation (every user's version bumps when the burst is
+// marked) coinciding with a drastic mobility distribution shift.
+type lockdown struct{}
+
+func (lockdown) Name() string { return "lockdown" }
+
+func (lockdown) Describe() string {
+	return "lockdown transition: commuter rhythms collapse to stay-home at the big infection wave"
+}
+
+func (lockdown) Plan(cfg Config) (*Plan, error) {
+	base, err := newCityBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	waves, err := seirWaves(cfg, 4, lockdownInfectedCells, base.workRank)
+	if err != nil {
+		return nil, err
+	}
+	// The lockdown lands on the midpoint wave boundary (wave 2 of 4),
+	// where the SEIR curve is near its peak burst.
+	transition := cfg.Steps / 2
+	plan := base.plan("lockdown", waves, lockdownFloor)
+	plan.traj = func(user int) []int {
+		rng := trajRNG(cfg.Seed, user)
+		home, work := userEndpoints(base.roads, rng)
+		return walkRhythm(base.df, rng, cfg.Steps, home, func(t int) int {
+			if t >= transition {
+				return home
+			}
+			return commutePhase(t, home, work)
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/markov"
+	"github.com/pglp/panda/internal/roadnet"
+)
+
+// The city template every shipped scenario runs on: a 32x32 unit grid
+// with a Manhattan street layout every 4th row/column (the same grid the
+// load harness and the panda-server defaults use, so the scenario can
+// target an out-of-process server booted with default flags).
+const (
+	cityRows    = 32
+	cityCols    = 32
+	roadSpacing = 4
+
+	// dayLen is the commute rhythm period in timesteps.
+	dayLen = 24
+
+	// adversaryStay is the self-loop probability of the adversary's
+	// lazy-random-walk mobility model over the road network.
+	adversaryStay = 0.6
+
+	// dwellStay is the probability a user at their target cell stays
+	// put for the step instead of wandering to a road neighbor.
+	dwellStay = 0.75
+)
+
+// cityMap builds the shared grid + road network.
+func cityMap() (*geo.Grid, *roadnet.RoadMap, error) {
+	grid := geo.MustGrid(cityRows, cityCols, 1)
+	roads, err := roadnet.Manhattan(grid, roadSpacing)
+	if err != nil {
+		return nil, nil, err
+	}
+	return grid, roads, nil
+}
+
+// adversaryChain is the mobility model the adversary replays stored
+// records against: a lazy random walk along the road network. Building
+// cells are absorbing self-loops (they are not feasible locations).
+func adversaryChain(rm *roadnet.RoadMap) *markov.Chain {
+	return markov.LazyRandomWalk(rm.Grid.NumCells(), rm.Neighbors, adversaryStay)
+}
+
+// trajRNG returns the per-user RNG stream that drives the user's
+// endpoint draws and mobility decisions. The stream is keyed (seed,
+// 2*user) so the runner's release RNG (2*user+1) never aliases it.
+func trajRNG(seed uint64, user int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(user)<<1))
+}
+
+// userEndpoints draws the user's home and work street cells. Work is
+// re-drawn a few times to avoid coinciding with home (a degenerate
+// commute), falling back to equality on a pathological road map.
+func userEndpoints(rm *roadnet.RoadMap, rng *rand.Rand) (home, work int) {
+	home = rm.RandomRoad(rng)
+	work = rm.RandomRoad(rng)
+	for i := 0; i < 4 && work == home; i++ {
+		work = rm.RandomRoad(rng)
+	}
+	return home, work
+}
+
+// distField caches BFS hop-distance fields to target cells over the
+// road network, shared by every user heading for the same home/work/
+// event cell. Safe for the runner's concurrent user goroutines;
+// concurrent misses recompute redundantly (BFS is cheap and pure).
+type distField struct {
+	rm     *roadnet.RoadMap
+	fields sync.Map // target cell -> []int
+}
+
+func newDistField(rm *roadnet.RoadMap) *distField { return &distField{rm: rm} }
+
+// to returns the hop-distance field to target (building cells stay at
+// -1). Greedy descent over this field is the deterministic
+// shortest-path commute.
+func (df *distField) to(target int) []int {
+	if v, ok := df.fields.Load(target); ok {
+		return v.([]int)
+	}
+	dist := make([]int, df.rm.Grid.NumCells())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[target] = 0
+	queue := []int{target}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range df.rm.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	df.fields.Store(target, dist)
+	return dist
+}
+
+// stepToward advances cur one road hop down the distance field: the
+// first neighbor (in the grid's fixed neighbor order — the determinism
+// contract) strictly closer to the target. Disconnected targets leave
+// the walker in place.
+func stepToward(rm *roadnet.RoadMap, cur int, dist []int) int {
+	d := dist[cur]
+	if d <= 0 {
+		return cur
+	}
+	for _, n := range rm.Neighbors(cur) {
+		if dist[n] == d-1 {
+			return n
+		}
+	}
+	return cur
+}
+
+// dwell is the at-target behavior: mostly stay, occasionally wander to
+// a random road neighbor (the next step walks back).
+func dwell(rm *roadnet.RoadMap, rng *rand.Rand, cur int) int {
+	if rng.Float64() < dwellStay {
+		return cur
+	}
+	ns := rm.Neighbors(cur)
+	if len(ns) == 0 {
+		return cur
+	}
+	return ns[rng.IntN(len(ns))]
+}
+
+// commutePhase maps a timestep to the rhythm target: home overnight and
+// evenings, work through the working day (commutes are the walk itself —
+// a user not yet at the phase target keeps walking toward it).
+func commutePhase(t, home, work int) int {
+	switch h := t % dayLen; {
+	case h < 8:
+		return home
+	case h < 17:
+		return work
+	default:
+		return home
+	}
+}
+
+// walkRhythm generates a rhythm-following trajectory: at each step the
+// user either dwells at the current target or takes one greedy road hop
+// toward it. target(t) selects the cell the user heads for at step t.
+func walkRhythm(df *distField, rng *rand.Rand, steps, start int, target func(t int) int) []int {
+	out := make([]int, steps)
+	cur := start
+	curTarget := -1
+	var dist []int
+	for t := 0; t < steps; t++ {
+		if tgt := target(t); tgt != curTarget {
+			curTarget = tgt
+			dist = df.to(curTarget)
+		}
+		if cur == curTarget {
+			cur = dwell(df.rm, rng, cur)
+		} else {
+			cur = stepToward(df.rm, cur, dist)
+		}
+		out[t] = cur
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/markov"
+	"github.com/pglp/panda/internal/roadnet"
+)
+
+// Config parameterizes a scenario: how many synthetic users, how many
+// timesteps, and the seed every random choice derives from. Two Plans
+// built from equal Configs are behaviorally identical.
+type Config struct {
+	Users int
+	Steps int
+	Seed  uint64
+}
+
+// Validate checks the config invariants shared by all generators.
+func (c Config) Validate() error {
+	if c.Users < 1 {
+		return fmt.Errorf("scenario: users must be >= 1, got %d", c.Users)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("scenario: steps must be >= 1, got %d", c.Steps)
+	}
+	return nil
+}
+
+// Wave is one segment of the run: the timestep range [Start, End) whose
+// releases are reported after the cells in Infect are marked infected
+// (and every user has renegotiated its policy). Wave 0 of every
+// scenario carries no infections — the pre-epidemic baseline.
+type Wave struct {
+	Start, End int
+	Infect     []int
+}
+
+// Plan is a fully-resolved scenario: everything the runner and the
+// scorer need, with all randomness already pinned to the seed.
+type Plan struct {
+	Name  string
+	Grid  *geo.Grid
+	Roads *roadnet.RoadMap
+	// Chain is the adversary's mobility model: the lazy random walk
+	// over the road network it replays stored records against.
+	Chain *markov.Chain
+	Waves []Wave
+	// Floor is the scenario's minimum expected adversary tracking
+	// error (grid units). CI asserts the measured error stays above
+	// it — the privacy regression gate.
+	Floor float64
+	Users int
+	Steps int
+	Seed  uint64
+
+	traj func(user int) []int
+}
+
+// Trajectory regenerates user's ground-truth trajectory (one cell per
+// timestep, road cells only). It is a pure function of (Seed, user), so
+// the runner streams truth without holding it for 100k+ users and the
+// scorer regenerates it on demand.
+func (p *Plan) Trajectory(user int) []int { return p.traj(user) }
+
+// Validate checks the plan invariants: contiguous waves covering
+// [0, Steps), in-range infected cells, and a chain over the grid.
+func (p *Plan) Validate() error {
+	if len(p.Waves) == 0 {
+		return fmt.Errorf("scenario %s: no waves", p.Name)
+	}
+	next := 0
+	for i, w := range p.Waves {
+		if w.Start != next || w.End <= w.Start {
+			return fmt.Errorf("scenario %s: wave %d covers [%d, %d), want contiguous from %d",
+				p.Name, i, w.Start, w.End, next)
+		}
+		next = w.End
+		for _, c := range w.Infect {
+			if !p.Grid.InRange(c) {
+				return fmt.Errorf("scenario %s: wave %d infects out-of-range cell %d", p.Name, i, c)
+			}
+		}
+	}
+	if next != p.Steps {
+		return fmt.Errorf("scenario %s: waves cover [0, %d), want [0, %d)", p.Name, next, p.Steps)
+	}
+	if p.Chain.NumStates() != p.Grid.NumCells() {
+		return fmt.Errorf("scenario %s: chain over %d states, grid has %d cells",
+			p.Name, p.Chain.NumStates(), p.Grid.NumCells())
+	}
+	return nil
+}
+
+// InfectedCells returns every cell any wave infects, sorted.
+func (p *Plan) InfectedCells() []int {
+	var out []int
+	for _, w := range p.Waves {
+		out = append(out, w.Infect...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Generator turns a Config into a Plan. Implementations are stateless;
+// all scenario state lives in the returned Plan's closures.
+type Generator interface {
+	// Name is the registry key (`panda-bench -lscenario <name>`).
+	Name() string
+	// Describe is a one-line summary for listings.
+	Describe() string
+	// Plan resolves the scenario for the config.
+	Plan(cfg Config) (*Plan, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Generator{}
+)
+
+// Register makes a generator constructor available under its name.
+// Generators self-register from init, the same pluggable-registration
+// shape as the mechanism factory; registering a duplicate name panics
+// (a wiring bug, not a runtime condition).
+func Register(name string, fn func() Generator) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate generator %q", name))
+	}
+	registry[name] = fn
+}
+
+// Lookup returns the generator registered under name.
+func Lookup(name string) (Generator, error) {
+	regMu.RLock()
+	fn, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown generator %q (have %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names lists the registered generators, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

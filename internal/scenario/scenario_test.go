@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/policygraph"
+	"github.com/pglp/panda/internal/server"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"commuter", "lockdown", "superspreader"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		gen, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if gen.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, gen.Name())
+		}
+		if gen.Describe() == "" {
+			t.Errorf("Lookup(%q).Describe() empty", n)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown generator succeeded")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{{Users: 0, Steps: 10}, {Users: 10, Steps: 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed, want error", bad)
+		}
+	}
+	gen, _ := Lookup("commuter")
+	if _, err := gen.Plan(Config{Users: 0, Steps: 5, Seed: 1}); err == nil {
+		t.Fatal("Plan with invalid config succeeded")
+	}
+}
+
+// TestPlanInvariants checks every generator's plan: contiguous waves, a
+// baseline wave 0, road-constrained trajectories moving at most one
+// road hop per step, and infection sites on the road network.
+func TestPlanInvariants(t *testing.T) {
+	cfg := Config{Users: 40, Steps: 48, Seed: 3}
+	for _, name := range Names() {
+		gen, _ := Lookup(name)
+		plan, err := gen.Plan(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Waves[0].Infect) != 0 {
+			t.Errorf("%s: wave 0 infects %v, want pre-epidemic baseline", name, plan.Waves[0].Infect)
+		}
+		if len(plan.InfectedCells()) == 0 {
+			t.Errorf("%s: no infected cells in any wave", name)
+		}
+		if plan.Floor <= 0 {
+			t.Errorf("%s: floor %v, want positive", name, plan.Floor)
+		}
+		for _, c := range plan.InfectedCells() {
+			if !plan.Roads.IsRoad(c) {
+				t.Errorf("%s: infected cell %d is not a road cell", name, c)
+			}
+		}
+		for _, u := range []int{0, 7, 39} {
+			traj := plan.Trajectory(u)
+			if len(traj) != cfg.Steps {
+				t.Fatalf("%s: user %d trajectory has %d steps, want %d", name, u, len(traj), cfg.Steps)
+			}
+			for ti, c := range traj {
+				if !plan.Roads.IsRoad(c) {
+					t.Fatalf("%s: user %d at t=%d on non-road cell %d", name, u, ti, c)
+				}
+				if ti == 0 {
+					continue
+				}
+				prev := traj[ti-1]
+				if c == prev {
+					continue
+				}
+				adjacent := false
+				for _, n := range plan.Roads.Neighbors(prev) {
+					if n == c {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					t.Fatalf("%s: user %d jumped %d -> %d at t=%d", name, u, prev, c, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestTrajectoryDeterminism pins the seed contract: equal configs give
+// byte-identical trajectories, different seeds diverge.
+func TestTrajectoryDeterminism(t *testing.T) {
+	cfg := Config{Users: 20, Steps: 48, Seed: 11}
+	for _, name := range Names() {
+		gen, _ := Lookup(name)
+		a, err := gen.Plan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen.Plan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < cfg.Users; u++ {
+			if !reflect.DeepEqual(a.Trajectory(u), a.Trajectory(u)) {
+				t.Fatalf("%s: user %d trajectory not stable across regenerations", name, u)
+			}
+			if !reflect.DeepEqual(a.Trajectory(u), b.Trajectory(u)) {
+				t.Fatalf("%s: user %d trajectory differs across equal plans", name, u)
+			}
+		}
+		other := cfg
+		other.Seed = 12
+		c, err := gen.Plan(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := 0
+		for u := 0; u < cfg.Users; u++ {
+			if reflect.DeepEqual(a.Trajectory(u), c.Trajectory(u)) {
+				same++
+			}
+		}
+		if same == cfg.Users {
+			t.Fatalf("%s: different seeds produced identical trajectories for all users", name)
+		}
+	}
+}
+
+func TestSeirWavesShape(t *testing.T) {
+	cfg := Config{Users: 1000, Steps: 96, Seed: 1}
+	peak := []int{4, 8, 12, 16, 20, 24, 28, 32, 36, 40}
+	waves, err := seirWaves(cfg, 4, 8, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 4 {
+		t.Fatalf("got %d waves, want 4", len(waves))
+	}
+	if len(waves[0].Infect) != 0 {
+		t.Errorf("wave 0 infects %v, want none", waves[0].Infect)
+	}
+	total := 0
+	for _, w := range waves[1:] {
+		total += len(w.Infect)
+	}
+	if total == 0 || total > 8 {
+		t.Errorf("waves infect %d cells total, want 1..8", total)
+	}
+}
+
+func TestSampleUsers(t *testing.T) {
+	got := sampleUsers(100, 4)
+	want := []int{0, 25, 50, 75}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sampleUsers(100, 4) = %v, want %v", got, want)
+	}
+	if got := sampleUsers(3, 3); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("sampleUsers(3, 3) = %v", got)
+	}
+}
+
+func TestBeliefRank(t *testing.T) {
+	belief := []float64{0.1, 0.4, 0.4, 0.05, 0.05}
+	for target, want := range map[int]int{1: 0, 2: 1, 0: 2, 3: 3, 4: 4} {
+		if got := beliefRank(belief, target); got != want {
+			t.Errorf("beliefRank(target=%d) = %d, want %d", target, got, want)
+		}
+	}
+}
+
+// TestCountViolations proves the violation detector actually detects:
+// an exact disclosure of a protected (degree > 0) cell is a violation,
+// of an isolated cell is not, and a noisy release is neither.
+func TestCountViolations(t *testing.T) {
+	grid := geo.MustGrid(2, 2, 1)
+	g := policygraph.New(4)
+	g.AddEdge(0, 1) // cells 0,1 protected; cells 2,3 isolated
+	graphs := map[int]*policygraph.Graph{1: g}
+	truth := []int{0, 2, 1}
+	recs := []server.Record{
+		{T: 0, Point: grid.Center(0), PolicyVersion: 1},                     // exact, protected: violation
+		{T: 1, Point: grid.Center(2), PolicyVersion: 1},                     // exact, isolated: allowed
+		{T: 2, Point: grid.Center(1).Add(geo.Pt(0.2, 0)), PolicyVersion: 1}, // noisy: fine
+	}
+	checked, violations, exact, err := countViolations(grid, graphs, truth, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 3 || violations != 1 || exact != 1 {
+		t.Fatalf("got checked=%d violations=%d exact=%d, want 3/1/1", checked, violations, exact)
+	}
+	recs[0].PolicyVersion = 9
+	if _, _, _, err := countViolations(grid, graphs, truth, recs); err == nil {
+		t.Fatal("unknown policy version not rejected")
+	}
+}
+
+func TestFoldDigestOrderSensitive(t *testing.T) {
+	a := foldDigest([]uint64{1, 2, 3})
+	b := foldDigest([]uint64{3, 2, 1})
+	if a == b {
+		t.Fatal("digest insensitive to order")
+	}
+	if a != foldDigest([]uint64{1, 2, 3}) {
+		t.Fatal("digest not deterministic")
+	}
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import "github.com/pglp/panda/internal/geo"
+
+func init() { Register("superspreader", func() Generator { return superspreader{} }) }
+
+const (
+	// superspreaderAttendees is the fraction of users (per ten) drawn
+	// to the event.
+	superspreaderAttendees = 3
+	// superspreaderInfectedCells bounds the cells marked infected
+	// across the run.
+	superspreaderInfectedCells = 32
+	// superspreaderFloor is the adversary tracking-error floor; lower
+	// than the commuter floor because the event concentrates a third
+	// of the population on one block, which is easier to track.
+	superspreaderFloor = 0.15
+)
+
+// superspreader overlays a hotspot event on the commuter city: for half
+// a day around a third of the users converge on the central event
+// block, and the infection waves burst at the event site first.
+type superspreader struct{}
+
+func (superspreader) Name() string { return "superspreader" }
+
+func (superspreader) Describe() string {
+	return "superspreader event: commuter city plus a hotspot event a third of users attend"
+}
+
+func (superspreader) Plan(cfg Config) (*Plan, error) {
+	base, err := newCityBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	grid := base.roads.Grid
+	event := base.roads.NearestRoad(grid.ID(geo.Cell{Row: cityRows / 2, Col: cityCols / 2}))
+	evStart := cfg.Steps / 3
+	evEnd := evStart + dayLen/2
+	if evEnd > cfg.Steps {
+		evEnd = cfg.Steps
+	}
+	// Infection sites: the event block first (the outbreak's origin),
+	// then the popular workplaces the attendees carry it to.
+	peak := append([]int{event}, base.roads.Neighbors(event)...)
+	seen := map[int]bool{}
+	for _, c := range peak {
+		seen[c] = true
+	}
+	for _, c := range base.workRank {
+		if !seen[c] {
+			peak = append(peak, c)
+			seen[c] = true
+		}
+	}
+	waves, err := seirWaves(cfg, 4, superspreaderInfectedCells, peak)
+	if err != nil {
+		return nil, err
+	}
+	plan := base.plan("superspreader", waves, superspreaderFloor)
+	plan.traj = func(user int) []int {
+		rng := trajRNG(cfg.Seed, user)
+		home, work := userEndpoints(base.roads, rng)
+		attendee := user%10 < superspreaderAttendees
+		return walkRhythm(base.df, rng, cfg.Steps, home, func(t int) int {
+			if attendee && t >= evStart && t < evEnd {
+				return event
+			}
+			return commutePhase(t, home, work)
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pglp/panda/internal/epidemic"
+)
+
+// SEIR parameters of the scenario epidemic (R0 = beta/gamma = 2.2, a
+// brisk but containable outbreak). The continuous curve only shapes the
+// wave sizes — the discrete infection sites come from the scenario's
+// own hotspot ranking.
+const (
+	seirBeta  = 0.55
+	seirSigma = 0.40
+	seirGamma = 0.25
+)
+
+// seirWaves partitions [0, steps) into nWaves contiguous waves sized by
+// an SEIR epidemic over the population: wave 0 is the pre-epidemic
+// baseline (no infections), and each later wave marks a burst of cells
+// proportional to the curve's mean prevalence over its window, drawn in
+// order from peakCells (the scenario's hotspot ranking). maxInfected
+// bounds the total cells marked across the run.
+func seirWaves(cfg Config, nWaves, maxInfected int, peakCells []int) ([]Wave, error) {
+	if nWaves < 1 {
+		return nil, fmt.Errorf("scenario: nWaves must be >= 1, got %d", nWaves)
+	}
+	if nWaves > cfg.Steps {
+		nWaves = cfg.Steps
+	}
+	waves := make([]Wave, nWaves)
+	for w := range waves {
+		waves[w].Start = w * cfg.Steps / nWaves
+		waves[w].End = (w + 1) * cfg.Steps / nWaves
+	}
+	if nWaves == 1 || maxInfected < 1 || len(peakCells) == 0 {
+		return waves, nil
+	}
+
+	n := float64(cfg.Users)
+	i0 := math.Max(1, n/1000)
+	states, err := epidemic.SimulateSEIR(
+		epidemic.SEIRParams{Beta: seirBeta, Sigma: seirSigma, Gamma: seirGamma, N: n},
+		epidemic.SEIRState{S: n - i0, I: i0}, cfg.Steps, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	meanI := func(w Wave) float64 {
+		sum := 0.0
+		for t := w.Start; t < w.End; t++ {
+			sum += states[t].I
+		}
+		return sum / float64(w.End-w.Start)
+	}
+	peak := 0.0
+	for _, w := range waves[1:] {
+		if m := meanI(w); m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		return waves, nil
+	}
+	next := 0
+	for w := 1; w < nWaves; w++ {
+		k := int(math.Round(meanI(waves[w]) / peak * float64(maxInfected) / float64(nWaves-1)))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(peakCells)-next {
+			k = len(peakCells) - next
+		}
+		if k <= 0 {
+			break
+		}
+		waves[w].Infect = append([]int(nil), peakCells[next:next+k]...)
+		next += k
+	}
+	return waves, nil
+}

@@ -1,5 +1,7 @@
 package server
 
+import "github.com/pglp/panda/internal/server/analytics"
+
 // The aggregate queries live in the analytics package (internal/server/
 // analytics), where they are served from epoch-versioned caches over the
 // store's timestep index. The DB methods below are thin compatibility
@@ -26,6 +28,14 @@ func (db *DB) InfectedExposureSeries(t0, t1 int, infected []int) ([]int, error) 
 // count) pairs in descending count (ties by region index).
 func (db *DB) TopRegions(t, blockRows, blockCols, k int) [][2]int {
 	return db.engine.TopRegions(t, blockRows, blockCols, k)
+}
+
+// AnalyticsStats returns the engine's cache counters — cumulative
+// hits/misses plus the live entry count per cache. The scenario harness
+// reads it before and after its query phase to score cache behavior
+// under realistic spatial skew.
+func (db *DB) AnalyticsStats() analytics.Stats {
+	return db.engine.Stats()
 }
 
 // CodeCensus certifies every known user and tallies the health codes —

@@ -67,8 +67,10 @@ func (e *Engine) CodeCensus(infected []int, window, now int) map[Code]int {
 	ent, ok := e.census[key]
 	e.mu.RUnlock()
 	if ok && ent.epoch == epoch {
+		e.hits.Add(1)
 		return copyCensus(ent.census)
 	}
+	e.misses.Add(1)
 	inf := cellSet(infected)
 	out := map[Code]int{CodeGreen: 0, CodeYellow: 0, CodeRed: 0}
 	for _, u := range e.store.Users() {

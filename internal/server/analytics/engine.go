@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pglp/panda/internal/geo"
 	"github.com/pglp/panda/internal/server/storage"
@@ -55,10 +56,40 @@ type Engine struct {
 	grid  *geo.Grid
 	store storage.Store
 
+	// Cache effectiveness counters. A hit is a lookup answered from a
+	// cache entry whose generation still matches the store; everything
+	// else (cold key or stale entry) is a miss followed by a recompute.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
 	mu       sync.RWMutex
 	density  map[densityKey]densityEntry
 	exposure map[exposureKey]exposureEntry
 	census   map[censusKey]censusEntry
+}
+
+// Stats is a point-in-time snapshot of the engine's cache behavior:
+// cumulative hit/miss counters plus the live entry count per cache.
+type Stats struct {
+	Hits            uint64
+	Misses          uint64
+	DensityEntries  int
+	ExposureEntries int
+	CensusEntries   int
+}
+
+// Stats returns the engine's cache counters. Hits and Misses are
+// cumulative since construction; the entry counts are current sizes.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		DensityEntries:  len(e.density),
+		ExposureEntries: len(e.exposure),
+		CensusEntries:   len(e.census),
+	}
 }
 
 // New creates an engine over the grid and store.
@@ -82,8 +113,10 @@ func (e *Engine) DensityAt(t, blockRows, blockCols int) []int {
 	ent, ok := e.density[key]
 	e.mu.RUnlock()
 	if ok && ent.gen == gen {
+		e.hits.Add(1)
 		return append([]int(nil), ent.counts...)
 	}
+	e.misses.Add(1)
 	counts := make([]int, e.grid.NumRegions(blockRows, blockCols))
 	e.store.ScanRange(t, t, func(rec storage.Record) bool {
 		counts[e.grid.RegionOf(rec.Cell, blockRows, blockCols)]++
@@ -144,8 +177,10 @@ func (e *Engine) ExposureAt(t int, infected []int) int {
 	ent, ok := e.exposure[key]
 	e.mu.RUnlock()
 	if ok && ent.gen == gen {
+		e.hits.Add(1)
 		return ent.count
 	}
+	e.misses.Add(1)
 	inf := cellSet(infected)
 	n := 0
 	e.store.ScanRange(t, t, func(rec storage.Record) bool {

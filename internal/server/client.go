@@ -609,6 +609,22 @@ func (c *Client) IngestStatsContext(ctx context.Context) (wire.IngestStatsRespon
 	return out, nil
 }
 
+// AnalyticsStats fetches the analytics engine's cache counters
+// (GET /v2/analytics/stats). Through the cluster router the counters
+// are summed across nodes.
+func (c *Client) AnalyticsStats() (wire.AnalyticsStatsResponse, error) {
+	return c.AnalyticsStatsContext(context.Background())
+}
+
+// AnalyticsStatsContext is AnalyticsStats under an explicit context.
+func (c *Client) AnalyticsStatsContext(ctx context.Context) (wire.AnalyticsStatsResponse, error) {
+	var out wire.AnalyticsStatsResponse
+	if err := c.get(ctx, "/v2/analytics/stats", &out); err != nil {
+		return wire.AnalyticsStatsResponse{}, err
+	}
+	return out, nil
+}
+
 // Report sends a single released location (a batch of one).
 func (c *Client) Report(user, t int, p geo.Point) error {
 	return c.ReportContext(context.Background(), user, t, p)

@@ -35,6 +35,7 @@ func (s *Server) routeV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v2/reports", s.handleV2Reports)
 	mux.HandleFunc("GET /v2/healthz", s.handleV2Healthz)
 	mux.HandleFunc("GET /v2/ingest/stats", s.handleV2IngestStats)
+	mux.HandleFunc("GET /v2/analytics/stats", s.handleV2AnalyticsStats)
 	mux.HandleFunc("GET /v2/records", s.handleV2Records)
 	mux.HandleFunc("GET /v2/policy", s.handleV2Policy)
 	mux.HandleFunc("POST /v2/infected", s.handleV2Infected)
@@ -431,6 +432,20 @@ func (s *Server) handleV2IngestStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:  st.Rejected,
 		Throttled: st.Throttled,
 		LagMS:     float64(st.Lag) / float64(time.Millisecond),
+	})
+}
+
+// handleV2AnalyticsStats reports the analytics engine's cache counters
+// (cumulative hits/misses plus live entry counts). Like the ingest
+// stats, it is a pure counter read — cheap enough to poll.
+func (s *Server) handleV2AnalyticsStats(w http.ResponseWriter, r *http.Request) {
+	st := s.db.AnalyticsStats()
+	writeJSON(w, wire.AnalyticsStatsResponse{
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		DensityEntries:  st.DensityEntries,
+		ExposureEntries: st.ExposureEntries,
+		CensusEntries:   st.CensusEntries,
 	})
 }
 

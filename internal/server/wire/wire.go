@@ -127,6 +127,20 @@ type IngestStatsResponse struct {
 	LagMS float64 `json:"lag_ms"`
 }
 
+// AnalyticsStatsResponse is the body of GET /v2/analytics/stats — the
+// observability surface of the analytics engine's epoch-versioned
+// caches. Hits and Misses are cumulative since server start; the entry
+// counts are current cache sizes. Through the cluster router every
+// field is the sum across nodes (each node caches independently, so the
+// fleet-wide hit rate is the ratio of the summed counters).
+type AnalyticsStatsResponse struct {
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	DensityEntries  int    `json:"density_entries"`
+	ExposureEntries int    `json:"exposure_entries"`
+	CensusEntries   int    `json:"census_entries"`
+}
+
 // Record is the wire form of one stored release.
 type Record struct {
 	User          int     `json:"user"`
