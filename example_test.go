@@ -3,6 +3,7 @@ package panda_test
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/pglp/panda"
 )
@@ -27,6 +28,46 @@ func ExampleNewSystem() {
 	// Output:
 	// released cell: 35
 	// stored records: 1
+}
+
+// ExampleOptions_backend shows the durable store across a restart —
+// the same code works with Backend "wal" (the default) or "kv", and
+// the records outlive the System that wrote them.
+func ExampleOptions_backend() {
+	dir, err := os.MkdirTemp("", "panda-kv-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := panda.Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 1,
+		DataDir: dir, Backend: "kv"}
+
+	sys, err := panda.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := sys.NewUser(1, panda.GEM, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Report(0, 27); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A new System on the same directory recovers the records.
+	back, err := panda.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("records after restart:", len(back.Records(1)))
+	if err := back.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// records after restart: 1
 }
 
 // ExampleContactTracingPolicy shows the Gc construction: infected places

@@ -46,10 +46,13 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// inScope limits the analyzer to the WAL package (the only place file
-// handles and append mutexes coexist) and to testdata packages.
+// inScope limits the analyzer to the durable backends (the only places
+// file handles and append mutexes coexist: the WAL and the LSM store)
+// and to testdata packages.
 func inScope(path string) bool {
-	return !strings.Contains(path, "/") || strings.HasSuffix(path, "/storage/wal")
+	return !strings.Contains(path, "/") ||
+		strings.HasSuffix(path, "/storage/wal") ||
+		strings.HasSuffix(path, "/storage/lsm")
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -1,0 +1,122 @@
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+	"github.com/pglp/panda/internal/server/storage/backend"
+)
+
+func rec(user, t, cell int) storage.Record {
+	return storage.Record{
+		User: user, T: t, Cell: cell,
+		Point: geo.Pt(float64(cell), float64(user)), PolicyVersion: 1,
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{"", "wal", false},
+		{"wal", "wal", false},
+		{"kv", "kv", false},
+		{"lsm", "kv", false},
+		{"bolt", "", true},
+		{"WAL", "", true}, // names are case-sensitive, like flag values
+	}
+	for _, c := range cases {
+		got, err := backend.Normalize(c.in)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("Normalize(%q) = %q, %v; want %q, err=%v", c.in, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+// TestOpenRoundTrip: both named backends open, persist, and recover
+// through the same storage.Durable seam.
+func TestOpenRoundTrip(t *testing.T) {
+	for _, name := range []string{"wal", "kv"} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := backend.Open(name, dir, backend.Options{Shards: 2})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			for i := 0; i < 20; i++ {
+				s.Insert(rec(i, i%4, i))
+			}
+			if err := s.Err(); err != nil {
+				t.Fatalf("Err: %v", err)
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			back, err := backend.Open(name, dir, backend.Options{Shards: 2})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer back.Close()
+			if back.Len() != 20 {
+				t.Fatalf("recovered %d records, want 20", back.Len())
+			}
+			if ce := back.CompactErr(); ce != nil {
+				t.Fatalf("CompactErr: %v", ce)
+			}
+		})
+	}
+}
+
+// TestUnknownBackendRefused: a typo'd backend fails loudly, before any
+// directory is touched.
+func TestUnknownBackendRefused(t *testing.T) {
+	if _, err := backend.Open("bolt", t.TempDir(), backend.Options{}); err == nil ||
+		!strings.Contains(err.Error(), `unknown backend "bolt"`) {
+		t.Fatalf("Open(bolt) = %v, want unknown-backend error", err)
+	}
+}
+
+// TestCrossBackendRefusal: each backend refuses the other's directory
+// with an error that names the backend that CAN open it.
+func TestCrossBackendRefusal(t *testing.T) {
+	lay := func(name string) string {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := backend.Open(name, dir, backend.Options{})
+		if err != nil {
+			t.Fatalf("laying out %s dir: %v", name, err)
+		}
+		s.Insert(rec(1, 0, 2))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	walDir := lay("wal")
+	if _, err := backend.Open("kv", walDir, backend.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "-backend=wal") {
+		t.Fatalf("kv on wal dir = %v, want refusal naming -backend=wal", err)
+	}
+
+	kvDir := lay("kv")
+	if _, err := backend.Open("wal", kvDir, backend.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "-backend=kv") {
+		t.Fatalf("wal on kv dir = %v, want refusal naming -backend=kv", err)
+	}
+	// Refusal must not have modified the kv dir: it still opens cleanly.
+	s, err := backend.Open("kv", kvDir, backend.Options{})
+	if err != nil {
+		t.Fatalf("kv dir damaged by wal refusal: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 1 {
+		t.Fatalf("kv dir lost records after wal refusal: Len=%d", s.Len())
+	}
+}

@@ -1,0 +1,32 @@
+package storage_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+	"github.com/pglp/panda/internal/server/storage/storagetest"
+)
+
+// The two in-memory backends pass the shared Store conformance
+// battery (storagetest). The durable backends run the same battery
+// from their own packages.
+
+func TestMemStoreConformance(t *testing.T) {
+	storagetest.TestStore(t, func(t *testing.T) storage.Store {
+		return storage.NewMemStore()
+	})
+}
+
+func TestShardedStoreConformance(t *testing.T) {
+	storagetest.TestStore(t, func(t *testing.T) storage.Store {
+		return storage.NewShardedStore(4)
+	})
+}
+
+// A single-shard sharded store must behave identically — the shard
+// fan-out is a lock-granularity choice, never a semantics choice.
+func TestShardedSingleShardConformance(t *testing.T) {
+	storagetest.TestStore(t, func(t *testing.T) storage.Store {
+		return storage.NewShardedStore(1)
+	})
+}

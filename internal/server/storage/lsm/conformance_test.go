@@ -1,0 +1,33 @@
+package lsm_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+	"github.com/pglp/panda/internal/server/storage/lsm"
+	"github.com/pglp/panda/internal/server/storage/storagetest"
+)
+
+// The lsm store passes the shared Store conformance battery
+// (storagetest) — the whole point of the seam. The flush and merge
+// thresholds are lowered far below the battery's write volume so
+// memtable flushes and run merges race the battery's readers and
+// writers for real, not just in dedicated tests.
+func TestLSMConformance(t *testing.T) {
+	storagetest.TestStore(t, func(t *testing.T) storage.Store {
+		s, err := lsm.Open(t.TempDir(), lsm.Options{
+			Shards:          4,
+			MemtableRecords: 64,
+			MaxRuns:         2,
+		})
+		if err != nil {
+			t.Fatalf("lsm.Open: %v", err)
+		}
+		t.Cleanup(func() {
+			if err := s.Close(); err != nil {
+				t.Errorf("lsm.Close: %v", err)
+			}
+		})
+		return s
+	})
+}

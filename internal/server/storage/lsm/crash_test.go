@@ -1,0 +1,452 @@
+package lsm
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// The crash harness: simulated crashes are byte-exact file states — a
+// baseline directory is built once, then rewritten per scenario with
+// one file truncated, corrupted, added or removed, and Open must either
+// recover exactly the committed prefix or refuse with ErrCorrupt.
+// Nothing here sleeps or kills processes; every state a crash could
+// leave is constructed directly.
+
+// dirFiles lists a store directory's file names, sorted.
+func dirFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// readAll loads every file in dir into a name -> bytes map.
+func readAll(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, name := range dirFiles(t, dir) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// writeAll materializes a name -> bytes map as a fresh directory.
+func writeAll(t *testing.T, files map[string][]byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, b := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// baselineRunAndLog builds the canonical crash-test state — one
+// committed run of 6 records (users 0..5 at t=0) plus 10 live-log
+// records (users 0..9 at t=1) — and returns its files. All keys are
+// distinct so recovered counts compose by addition.
+func baselineRunAndLog(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAuto)
+	for u := 0; u < 6; u++ {
+		s.Insert(rec(u, 0, 100+u))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		s.Insert(rec(u, 1, 200+u))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := readAll(t, dir)
+	wantLog := headerSize + 10*frameSize
+	if got := len(files[logName(2)]); got != wantLog {
+		t.Fatalf("baseline log is %d bytes, want %d", got, wantLog)
+	}
+	if got := len(files[runName(1)]); got != headerSize+6*frameSize {
+		t.Fatalf("baseline run is %d bytes, want %d", got, headerSize+6*frameSize)
+	}
+	return files
+}
+
+// TestLogTornTailEveryOffset is the acked-implies-durable core: the
+// live log truncated at EVERY byte offset must open, recover the run
+// plus exactly the fully-framed log prefix before the cut, flag the
+// torn tail, and accept + persist new appends. Any record whose append
+// was acknowledged under SyncAlways was fsynced, i.e. lies before any
+// crash cut — so "recovers exactly the frame prefix" is precisely
+// "never loses an acknowledged write".
+func TestLogTornTailEveryOffset(t *testing.T) {
+	files := baselineRunAndLog(t)
+	full := files[logName(2)]
+	for cut := 0; cut <= len(full); cut++ {
+		crashed := make(map[string][]byte, len(files))
+		for name, b := range files {
+			crashed[name] = b
+		}
+		crashed[logName(2)] = full[:cut]
+		dir := writeAll(t, crashed)
+
+		back, err := Open(dir, noAuto)
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		wantRecs := 0
+		if cut >= headerSize {
+			wantRecs = (cut - headerSize) / frameSize
+		}
+		if back.Len() != 6+wantRecs {
+			back.Close()
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, back.Len(), 6+wantRecs)
+		}
+		// A cut exactly on a frame boundary is not torn; anywhere else is.
+		torn := cut != len(full) && cut != headerSize+wantRecs*frameSize
+		if got := back.Stats().TornTail; got != torn {
+			back.Close()
+			t.Fatalf("cut=%d: TornTail=%v, want %v", cut, got, torn)
+		}
+		// The truncated store must accept and persist new appends.
+		back.Insert(rec(50, 2, 1))
+		if err := back.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+		again := mustOpen(t, dir, noAuto)
+		if again.Len() != 6+wantRecs+1 {
+			t.Fatalf("cut=%d: after re-append recovered %d, want %d", cut, again.Len(), 6+wantRecs+1)
+		}
+		again.Close()
+	}
+}
+
+// TestRunTruncationEveryOffsetRejected: a sealed run is written
+// atomically, so no crash can legitimately shorten it — truncation at
+// EVERY byte offset must be refused as corruption, never silently
+// absorbed. Cuts on exact frame boundaries pass frame validation and
+// are caught by the record count the MANIFEST pinned.
+func TestRunTruncationEveryOffsetRejected(t *testing.T) {
+	files := baselineRunAndLog(t)
+	full := files[runName(1)]
+	for cut := 0; cut < len(full); cut++ {
+		crashed := make(map[string][]byte, len(files))
+		for name, b := range files {
+			crashed[name] = b
+		}
+		crashed[runName(1)] = full[:cut]
+		dir := writeAll(t, crashed)
+		if _, err := Open(dir, noAuto); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: Open = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Sanity: the untruncated baseline opens.
+	s := mustOpen(t, writeAll(t, files), noAuto)
+	defer s.Close()
+	if s.Len() != 16 {
+		t.Fatalf("baseline recovered %d records, want 16", s.Len())
+	}
+}
+
+// TestManifestTruncationEveryOffsetRejected: the MANIFEST is replaced
+// atomically, so a short MANIFEST is damage, and a damaged MANIFEST
+// must never be "repaired" by guessing — it silently disowns committed
+// runs. Truncation at EVERY byte offset must refuse with ErrCorrupt.
+func TestManifestTruncationEveryOffsetRejected(t *testing.T) {
+	files := baselineRunAndLog(t)
+	full := files[manifestName]
+	for cut := 0; cut < len(full); cut++ {
+		crashed := make(map[string][]byte, len(files))
+		for name, b := range files {
+			crashed[name] = b
+		}
+		crashed[manifestName] = full[:cut]
+		dir := writeAll(t, crashed)
+		if _, err := Open(dir, noAuto); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: Open = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestManifestBitFlipRejected: the ok-line checksum catches content
+// damage that keeps the line structure intact.
+func TestManifestBitFlipRejected(t *testing.T) {
+	files := baselineRunAndLog(t)
+	m := append([]byte(nil), files[manifestName]...)
+	// Flip a digit inside the "run 1 6" record count.
+	idx := strings.Index(string(m), "run 1 6")
+	if idx < 0 {
+		t.Fatalf("baseline MANIFEST missing run line:\n%s", m)
+	}
+	m[idx+6] = '7'
+	files[manifestName] = m
+	if _, err := Open(writeAll(t, files), noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUncommittedRunDeleted: a crash between the run rename and the
+// MANIFEST commit leaves an unlisted run file. Open must delete it and
+// replay the still-live logs — the flush never happened.
+func TestUncommittedRunDeleted(t *testing.T) {
+	files := baselineRunAndLog(t)
+	// Manufacture the orphan: a run file the MANIFEST does not list,
+	// holding the same records the live log still covers.
+	orphanDir := t.TempDir()
+	if err := writeRun(orphanDir, runName(9), []storage.Record{rec(0, 1, 999)}); err != nil {
+		t.Fatal(err)
+	}
+	files[runName(9)] = readAll(t, orphanDir)[runName(9)]
+	dir := writeAll(t, files)
+
+	back := mustOpen(t, dir, noAuto)
+	if back.Len() != 16 {
+		back.Close()
+		t.Fatalf("recovered %d records, want 16", back.Len())
+	}
+	// The orphan's value must NOT have won over the log's.
+	if r := back.UserRecords(0); r[1].Cell != 200 {
+		back.Close()
+		t.Fatalf("user 0 t=1 cell %d, want 200 (orphan run replayed!)", r[1].Cell)
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, runName(9))); !os.IsNotExist(err) {
+		t.Fatalf("uncommitted run still present (err=%v)", err)
+	}
+}
+
+// TestStaleLogDeletedWithoutReplay: a crash between the MANIFEST commit
+// and the absorbed-log deletion leaves a log whose seq <= flushed. Its
+// records were sorted into a run that may since have been superseded —
+// replaying it would resurrect old values — so Open must delete it
+// unread.
+func TestStaleLogDeletedWithoutReplay(t *testing.T) {
+	// Manufacture the state directly: a committed run holding the NEW
+	// value, plus a stale log still holding the OLD value for the key.
+	runDir := t.TempDir()
+	if err := writeRun(runDir, runName(1), []storage.Record{rec(1, 0, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	staleLog := fileHeader(logMagic)
+	staleLog = storage.AppendFrame(staleLog, rec(1, 0, 7)) // the superseded value
+	files := map[string][]byte{
+		runName(1): readAll(t, runDir)[runName(1)],
+		logName(1): staleLog,
+	}
+	dir := writeAll(t, files)
+	if err := writeManifest(dir, manifest{flushed: 1, runs: []runInfo{{seq: 1, records: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	back := mustOpen(t, dir, noAuto)
+	if back.Len() != 1 {
+		back.Close()
+		t.Fatalf("recovered %d records, want 1", back.Len())
+	}
+	if r := back.UserRecords(1); r[0].Cell != 9 {
+		back.Close()
+		t.Fatalf("user 1 t=0 cell %d, want 9 (stale log resurrected the old value)", r[0].Cell)
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, logName(1))); !os.IsNotExist(err) {
+		t.Fatalf("stale log still present (err=%v)", err)
+	}
+}
+
+// TestSyncAlwaysAckedSurvivesCrash: under SyncAlways every return from
+// Insert means "on stable storage". Copying the directory while the
+// store is still open (no Close, no final seal) is the crash; the copy
+// must replay every acknowledged record.
+func TestSyncAlwaysAckedSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: SyncAlways, MemtableRecords: -1, MaxRuns: -1})
+	const n = 25
+	for i := 0; i < n; i++ {
+		s.Insert(rec(i, 0, i))
+	}
+	// Crash: snapshot the directory with the store still open.
+	crashed := writeAll(t, readAll(t, dir))
+	back := mustOpen(t, crashed, noAuto)
+	if back.Len() != n {
+		t.Fatalf("crash copy recovered %d records, want %d (acked write lost)", back.Len(), n)
+	}
+	back.Close()
+	s.Close()
+}
+
+// TestFilesWithoutManifestRefused: log or run files with no MANIFEST
+// mean the authority on committed state is gone. Guessing could replay
+// stale logs or adopt uncommitted runs; Open must refuse.
+func TestFilesWithoutManifestRefused(t *testing.T) {
+	files := baselineRunAndLog(t)
+	delete(files, manifestName)
+	if _, err := Open(writeAll(t, files), noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMissingListedRunRefused: the MANIFEST lists a run that is gone —
+// committed data is missing and no recovery can invent it.
+func TestMissingListedRunRefused(t *testing.T) {
+	files := baselineRunAndLog(t)
+	delete(files, runName(1))
+	if _, err := Open(writeAll(t, files), noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOutOfOrderRunRejected: run frames must be strictly ascending by
+// (user, t); an out-of-order run (disk damage that still frames
+// correctly) is corruption.
+func TestOutOfOrderRunRejected(t *testing.T) {
+	body := fileHeader(runMagic)
+	body = storage.AppendFrame(body, rec(5, 0, 1))
+	body = storage.AppendFrame(body, rec(3, 0, 2)) // out of order
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, runName(1)), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeManifest(dir, manifest{flushed: 0, runs: []runInfo{{seq: 1, records: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTornMidLogRejected: a torn frame is tolerable only in the NEWEST
+// log — in an older live log it breaks the append order linearization
+// and must be corruption.
+func TestTornMidLogRejected(t *testing.T) {
+	older := fileHeader(logMagic)
+	older = storage.AppendFrame(older, rec(1, 0, 1))
+	older = older[:len(older)-10] // torn tail in a non-final log
+	newer := fileHeader(logMagic)
+	newer = storage.AppendFrame(newer, rec(2, 0, 2))
+	dir := writeAll(t, map[string][]byte{
+		logName(1): older,
+		logName(2): newer,
+	})
+	if err := writeManifest(dir, manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALDirRefusedUnmodified: pointing the lsm backend at a WAL data
+// directory must refuse with an error naming the fix, and must not
+// touch a single file — the WAL store stays intact.
+func TestWALDirRefusedUnmodified(t *testing.T) {
+	// A WAL layout is a MANIFEST with the WAL magic plus stripe dirs;
+	// build a faithful minimal one by hand (importing the wal package
+	// here would be an import cycle risk for none of the coverage).
+	dir := t.TempDir()
+	manifestBody := "panda-wal-manifest v1\nstripes 2\n"
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(manifestBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"stripe-0000", "stripe-0001"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dirFiles(t, dir)
+
+	_, err := Open(dir, noAuto)
+	if err == nil {
+		t.Fatal("Open succeeded on a WAL data dir")
+	}
+	if !strings.Contains(err.Error(), "-backend=wal") {
+		t.Fatalf("error %q does not name the fix (-backend=wal)", err)
+	}
+	if got := dirFiles(t, dir); len(got) != len(before) {
+		t.Fatalf("refusal modified the dir: %v -> %v", before, got)
+	}
+	if b, _ := os.ReadFile(filepath.Join(dir, "MANIFEST")); string(b) != manifestBody {
+		t.Fatal("refusal modified the WAL MANIFEST")
+	}
+
+	// The stripe-dir check alone must also refuse, even without a
+	// readable WAL MANIFEST (legacy/partial states).
+	dir2 := t.TempDir()
+	if err := writeManifest(dir2, manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir2, "stripe-0000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2, noAuto); err == nil || !strings.Contains(err.Error(), "-backend=wal") {
+		t.Fatalf("Open = %v, want stripe-dir refusal naming -backend=wal", err)
+	}
+
+	// Legacy single-file WAL layouts (snapshot.dat / wal-*.log) too.
+	dir3 := t.TempDir()
+	if err := writeManifest(dir3, manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir3, "snapshot.dat"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir3, noAuto); err == nil || !strings.Contains(err.Error(), "-backend=wal") {
+		t.Fatalf("Open = %v, want legacy-layout refusal naming -backend=wal", err)
+	}
+}
+
+// TestTmpLeftoversCleaned: *.tmp files are un-renamed atomic writes —
+// deleted on open, never adopted.
+func TestTmpLeftoversCleaned(t *testing.T) {
+	files := baselineRunAndLog(t)
+	files["MANIFEST.tmp"] = []byte("half-written garbage")
+	files[runName(7)+".tmp"] = []byte{0xde, 0xad}
+	dir := writeAll(t, files)
+	back := mustOpen(t, dir, noAuto)
+	if back.Len() != 16 {
+		back.Close()
+		t.Fatalf("recovered %d records, want 16", back.Len())
+	}
+	back.Close()
+	for _, name := range dirFiles(t, dir) {
+		if strings.HasSuffix(name, ".tmp") {
+			t.Fatalf("%s survived recovery", name)
+		}
+	}
+}
+
+// TestWrongMagicRejected: a run renamed over a log (or any file with
+// the wrong magic in a log/run name) must not be replayed under the
+// wrong tolerance rules.
+func TestWrongMagicRejected(t *testing.T) {
+	files := baselineRunAndLog(t)
+	// Swap the run body's magic to the log magic: frames still decode,
+	// but the header is wrong for a .sst name.
+	run := append([]byte(nil), files[runName(1)]...)
+	copy(run, logMagic)
+	files[runName(1)] = run
+	if _, err := Open(writeAll(t, files), noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,418 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+const (
+	// logMagic opens append logs, runMagic sorted runs; fileVersion is
+	// bumped on incompatible format changes. Distinct magics mean a log
+	// renamed over a run (or vice versa) is caught as corruption, not
+	// replayed with the wrong tolerance rules.
+	logMagic    = "PKVL"
+	runMagic    = "PKVR"
+	fileVersion = uint32(1)
+	headerSize  = 8
+
+	// The record framing is the shared storage codec — the same frames
+	// the WAL and the binary wire format use, so records move between
+	// backends without re-encoding.
+	payloadSize = storage.PayloadSize
+	frameSize   = storage.FrameSize
+)
+
+// ErrCorrupt reports damage that recovery cannot attribute to a torn
+// append: a bad frame in a sealed run or a non-final log, out-of-order
+// run keys, a run whose record count disagrees with the MANIFEST, or a
+// file that does not start with the expected header.
+var ErrCorrupt = errors.New("lsm: corrupt file")
+
+// errTorn is the internal sentinel for an invalid frame: the caller
+// decides whether that is a tolerable torn tail (final log) or
+// corruption (anywhere else).
+var errTorn = errors.New("lsm: invalid frame")
+
+// fileHeader returns the 8-byte header opening every lsm-owned file.
+func fileHeader(magic string) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	return hdr
+}
+
+// logName formats the file name of append log seq.
+func logName(seq uint64) string { return fmt.Sprintf("log-%016d.log", seq) }
+
+// runName formats the file name of sorted run seq.
+func runName(seq uint64) string { return fmt.Sprintf("run-%016d.sst", seq) }
+
+// parseLogName extracts the sequence number from a log file name,
+// reporting whether the name is a log at all.
+func parseLogName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "log-%d.log", &seq); err != nil {
+		return 0, false
+	}
+	if name != logName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// parseRunName extracts the sequence number from a run file name,
+// reporting whether the name is a run at all.
+func parseRunName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "run-%d.sst", &seq); err != nil {
+		return 0, false
+	}
+	if name != runName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// keyLess orders records by (user, t) — the sort key of every run.
+func keyLess(u1, t1, u2, t2 int) bool {
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return t1 < t2
+}
+
+// sortSeqs orders file sequence numbers ascending.
+func sortSeqs(seqs []uint64) {
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+}
+
+// replayFrames reads an 8-byte header then 56-byte frames from r,
+// calling fn for each decoded record in file order. It returns the
+// offset just past the last valid frame and errTorn when the stream
+// ends in an invalid frame (or an invalid/short header); an error from
+// fn aborts the replay and is returned as-is.
+func replayFrames(r io.Reader, magic string, fn func(storage.Record) error) (validEnd int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, errTorn
+		}
+		return 0, err
+	}
+	if string(hdr[:4]) != magic || binary.LittleEndian.Uint32(hdr[4:]) != fileVersion {
+		return 0, errTorn
+	}
+	validEnd = headerSize
+
+	frame := make([]byte, frameSize)
+	for {
+		_, err := io.ReadFull(br, frame[:8])
+		if err == io.EOF {
+			return validEnd, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return validEnd, errTorn
+		}
+		if err != nil {
+			return validEnd, err
+		}
+		if binary.LittleEndian.Uint32(frame[0:]) != payloadSize {
+			return validEnd, errTorn
+		}
+		if _, err := io.ReadFull(br, frame[8:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return validEnd, errTorn
+			}
+			return validEnd, err
+		}
+		rec, ok := storage.DecodeFrame(frame)
+		if !ok {
+			return validEnd, errTorn
+		}
+		if err := fn(rec); err != nil {
+			return validEnd, err
+		}
+		validEnd += frameSize
+	}
+}
+
+// replayLog reads the append log at path and calls fn for every valid
+// record, in append order. It returns the byte offset just past the
+// last valid frame and errTorn when the file ends in an invalid frame —
+// the caller decides whether that is a tolerable torn tail (newest log)
+// or corruption.
+func replayLog(path string, fn func(storage.Record)) (validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return replayFrames(f, logMagic, func(rec storage.Record) error {
+		fn(rec)
+		return nil
+	})
+}
+
+// readRun decodes a sealed run from r, calling fn for each record in
+// key order, and returns the record count. Nothing about a sealed run
+// is tolerable: runs are written atomically, so a bad header, an
+// invalid frame, a truncated tail, or keys that are not strictly
+// ascending by (user, t) all return an error wrapping ErrCorrupt. fn
+// may be nil. fn may be called before a later error is detected; run
+// replay feeds a store that is discarded on error, so that is safe.
+func readRun(r io.Reader, fn func(storage.Record)) (records int, err error) {
+	var lastU, lastT int
+	_, err = replayFrames(r, runMagic, func(rec storage.Record) error {
+		if records > 0 && !keyLess(lastU, lastT, rec.User, rec.T) {
+			return fmt.Errorf("%w: run keys out of order at record %d", ErrCorrupt, records)
+		}
+		lastU, lastT = rec.User, rec.T
+		records++
+		if fn != nil {
+			fn(rec)
+		}
+		return nil
+	})
+	if err == errTorn {
+		return records, fmt.Errorf("%w: truncated or invalid run frame after %d records", ErrCorrupt, records)
+	}
+	return records, err
+}
+
+// replayRun reads the run at path, verifies it holds exactly
+// wantRecords records (the count its MANIFEST entry pinned — which
+// catches truncation at exact frame boundaries, invisible to frame
+// validation alone), and calls fn for each record in key order.
+func replayRun(path string, wantRecords int, fn func(storage.Record)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("lsm: replaying run: %w", err)
+	}
+	defer f.Close()
+	n, err := readRun(f, fn)
+	if err != nil {
+		return fmt.Errorf("run %s: %w", path, err)
+	}
+	if n != wantRecords {
+		return fmt.Errorf("%w: run %s holds %d records, MANIFEST says %d", ErrCorrupt, path, n, wantRecords)
+	}
+	return nil
+}
+
+// sortDedupe sorts recs by (user, t) and collapses duplicate keys,
+// keeping the latest occurrence — the memtable's replace-on-(user,t)
+// semantics, applied at flush time so runs never need tombstones. The
+// sort is stable, so "latest" means latest in append order. The input
+// slice is reused.
+func sortDedupe(recs []storage.Record) []storage.Record {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return keyLess(recs[i].User, recs[i].T, recs[j].User, recs[j].T)
+	})
+	out := recs[:0]
+	for _, rec := range recs {
+		if n := len(out); n > 0 && out[n-1].User == rec.User && out[n-1].T == rec.T {
+			out[n-1] = rec
+		} else {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// runWriter streams a new run to <name>.tmp and commits it atomically
+// (fsync + rename + directory fsync), so a run file, once visible under
+// its final name, is always complete.
+type runWriter struct {
+	dir, name string
+	tmpPath   string
+	f         *os.File
+	w         *bufio.Writer
+	frame     []byte
+}
+
+// newRunWriter opens the temp file and writes the run header.
+func newRunWriter(dir, name string) (*runWriter, error) {
+	tmpPath := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: writing run: %w", err)
+	}
+	rw := &runWriter{dir: dir, name: name, tmpPath: tmpPath, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := rw.w.Write(fileHeader(runMagic)); err != nil {
+		rw.abort()
+		return nil, fmt.Errorf("lsm: writing run: %w", err)
+	}
+	return rw, nil
+}
+
+// add frames one record into the run. Callers feed records in strictly
+// ascending (user, t) order; readRun enforces it on the way back in.
+func (rw *runWriter) add(rec storage.Record) error {
+	rw.frame = storage.AppendFrame(rw.frame[:0], rec)
+	if _, err := rw.w.Write(rw.frame); err != nil {
+		return fmt.Errorf("lsm: writing run: %w", err)
+	}
+	return nil
+}
+
+// commit flushes, fsyncs and renames the run into place.
+func (rw *runWriter) commit() error {
+	err := rw.w.Flush()
+	if err == nil {
+		err = rw.f.Sync()
+	}
+	if closeErr := rw.f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(rw.tmpPath)
+		return fmt.Errorf("lsm: writing run: %w", err)
+	}
+	if err := os.Rename(rw.tmpPath, filepath.Join(rw.dir, rw.name)); err != nil {
+		_ = os.Remove(rw.tmpPath)
+		return fmt.Errorf("lsm: writing run: %w", err)
+	}
+	if err := storage.SyncDir(rw.dir); err != nil {
+		return fmt.Errorf("lsm: writing run: %w", err)
+	}
+	return nil
+}
+
+// abort discards the temp file.
+func (rw *runWriter) abort() {
+	rw.f.Close()
+	_ = os.Remove(rw.tmpPath)
+}
+
+// writeRun atomically writes recs (already sorted and deduplicated) as
+// run file name in dir.
+func writeRun(dir, name string, recs []storage.Record) error {
+	rw, err := newRunWriter(dir, name)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := rw.add(rec); err != nil {
+			rw.abort()
+			return err
+		}
+	}
+	return rw.commit()
+}
+
+// mergeRuns k-way merges runs (listed oldest first) into a single new
+// run file seq and returns its record count. On key collisions the
+// record from the newest run wins — the same last-write-wins rule the
+// memtable applies — so the merged run is equivalent to replaying the
+// inputs in order. Sources stream through fixed-size buffers; nothing
+// is materialized.
+func mergeRuns(dir string, runs []runInfo, seq uint64) (records int, err error) {
+	type src struct {
+		ri   runInfo
+		f    *os.File
+		r    *bufio.Reader
+		head storage.Record
+		ok   bool
+		read int
+		// lastU/lastT back the strictly-ascending check per source.
+		lastU, lastT int
+	}
+	srcs := make([]*src, 0, len(runs))
+	defer func() {
+		for _, s := range srcs {
+			s.f.Close()
+		}
+	}()
+
+	frame := make([]byte, frameSize)
+	advance := func(s *src) error {
+		_, err := io.ReadFull(s.r, frame)
+		if err == io.EOF {
+			if s.read != s.ri.records {
+				return fmt.Errorf("%w: run %s holds %d records, MANIFEST says %d", ErrCorrupt, runName(s.ri.seq), s.read, s.ri.records)
+			}
+			s.ok = false
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: run %s: truncated frame", ErrCorrupt, runName(s.ri.seq))
+		}
+		rec, ok := storage.DecodeFrame(frame)
+		if !ok {
+			return fmt.Errorf("%w: run %s: invalid frame", ErrCorrupt, runName(s.ri.seq))
+		}
+		if s.read > 0 && !keyLess(s.lastU, s.lastT, rec.User, rec.T) {
+			return fmt.Errorf("%w: run %s: keys out of order", ErrCorrupt, runName(s.ri.seq))
+		}
+		s.lastU, s.lastT = rec.User, rec.T
+		s.read++
+		s.head, s.ok = rec, true
+		return nil
+	}
+
+	for _, ri := range runs {
+		f, err := os.Open(filepath.Join(dir, runName(ri.seq)))
+		if err != nil {
+			return 0, fmt.Errorf("lsm: merging runs: %w", err)
+		}
+		s := &src{ri: ri, f: f, r: bufio.NewReaderSize(f, 1<<16)}
+		srcs = append(srcs, s)
+		hdr := make([]byte, headerSize)
+		if _, err := io.ReadFull(s.r, hdr); err != nil || string(hdr[:4]) != runMagic || binary.LittleEndian.Uint32(hdr[4:]) != fileVersion {
+			return 0, fmt.Errorf("%w: run %s: bad header", ErrCorrupt, runName(ri.seq))
+		}
+		if err := advance(s); err != nil {
+			return 0, err
+		}
+	}
+
+	rw, err := newRunWriter(dir, runName(seq))
+	if err != nil {
+		return 0, err
+	}
+	for {
+		best := -1
+		for i, s := range srcs {
+			if !s.ok {
+				continue
+			}
+			if best == -1 || keyLess(s.head.User, s.head.T, srcs[best].head.User, srcs[best].head.T) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ku, kt := srcs[best].head.User, srcs[best].head.T
+		var out storage.Record
+		// Visit sources oldest→newest so the newest holder of the key
+		// decides the record, and advance every holder past it.
+		for _, s := range srcs {
+			if s.ok && s.head.User == ku && s.head.T == kt {
+				out = s.head
+				if err := advance(s); err != nil {
+					rw.abort()
+					return 0, err
+				}
+			}
+		}
+		if err := rw.add(out); err != nil {
+			rw.abort()
+			return 0, err
+		}
+		records++
+	}
+	if err := rw.commit(); err != nil {
+		return 0, err
+	}
+	return records, nil
+}

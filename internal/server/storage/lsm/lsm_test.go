@@ -1,0 +1,320 @@
+package lsm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pglp/panda/internal/geo"
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// The lsm store is a Store and a Durable — compile-time proof that the
+// backend seam holds.
+var (
+	_ storage.Store   = (*Store)(nil)
+	_ storage.Durable = (*Store)(nil)
+)
+
+// noAuto disables background flushing and merging so tests drive both
+// explicitly via Flush and Compact.
+var noAuto = Options{MemtableRecords: -1, MaxRuns: -1}
+
+func rec(user, t, cell int) storage.Record {
+	return storage.Record{
+		User: user, T: t, Cell: cell,
+		Point:         geo.Pt(float64(cell)+0.5, float64(user)+0.25),
+		PolicyVersion: user % 3,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// collect scans a store into a (user, t) -> record map.
+func collect(s storage.Store) map[[2]int]storage.Record {
+	out := make(map[[2]int]storage.Record)
+	s.Scan(func(r storage.Record) bool {
+		out[[2]int{r.User, r.T}] = r
+		return true
+	})
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{Shards: shards, MemtableRecords: -1, MaxRuns: -1})
+		for u := 0; u < 7; u++ {
+			for ti := 0; ti < 20; ti++ {
+				if !s.Insert(rec(u, ti, (u*7+ti)%64)) {
+					t.Fatalf("Insert(%d,%d) reported replaced on fresh store", u, ti)
+				}
+			}
+		}
+		// Replacements must survive too: re-send user 3's history.
+		for ti := 0; ti < 20; ti++ {
+			s.Insert(rec(3, ti, 63-ti))
+		}
+		before := collect(s)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		back := mustOpen(t, dir, Options{Shards: shards, MemtableRecords: -1, MaxRuns: -1})
+		after := collect(back)
+		if len(after) != len(before) {
+			t.Fatalf("shards=%d: recovered %d records, want %d", shards, len(after), len(before))
+		}
+		for k, r := range before {
+			if after[k] != r {
+				t.Fatalf("shards=%d: key %v recovered %+v, want %+v", shards, k, after[k], r)
+			}
+		}
+		if back.MaxT() != 19 || back.Len() != 7*20 {
+			t.Fatalf("shards=%d: MaxT=%d Len=%d after recovery", shards, back.MaxT(), back.Len())
+		}
+		if got := back.UserRecords(3); got[0].Cell != 63 {
+			t.Fatalf("replacement lost: user 3 t=0 cell %d, want 63", got[0].Cell)
+		}
+		back.Close()
+	}
+}
+
+// TestFlushSealsRun: an explicit Flush moves the memtable into a sorted
+// run, deletes the absorbed log, and survives reopen.
+func TestFlushSealsRun(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAuto)
+	for i := 0; i < 10; i++ {
+		s.Insert(rec(i%4, i/4, i)) // includes replacements within the batch order
+	}
+	before := collect(s)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.MemtableRecords != 0 || st.Flushes != 1 {
+		t.Fatalf("after flush: %+v", st)
+	}
+	// The run holds the deduplicated set, so garbage is zero.
+	if st.RunRecords != len(before) || st.Garbage != 0 {
+		t.Fatalf("run records %d garbage %d, want %d and 0", st.RunRecords, st.Garbage, len(before))
+	}
+	if _, err := os.Stat(filepath.Join(dir, logName(1))); !os.IsNotExist(err) {
+		t.Fatalf("absorbed log still present (err=%v)", err)
+	}
+	// Appends continue on the fresh log.
+	s.Insert(rec(9, 9, 9))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAuto)
+	defer back.Close()
+	after := collect(back)
+	if len(after) != len(before)+1 {
+		t.Fatalf("recovered %d records, want %d", len(after), len(before)+1)
+	}
+	for k, r := range before {
+		if after[k] != r {
+			t.Fatalf("key %v recovered %+v, want %+v", k, after[k], r)
+		}
+	}
+}
+
+// TestCompactMergesRuns: repeated flushes with overlapping keys leave
+// superseded records in old runs; Compact collapses everything into one
+// run with zero garbage and no data change.
+func TestCompactMergesRuns(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAuto)
+	for round := 0; round < 3; round++ {
+		for u := 0; u < 6; u++ {
+			s.Insert(rec(u, round, 10*round+u))
+			s.Insert(rec(u, 0, 100*round+u)) // resent every round: garbage fodder
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatalf("round %d: Flush: %v", round, err)
+		}
+	}
+	if st := s.Stats(); st.Runs != 3 || st.Garbage == 0 {
+		t.Fatalf("before merge: %+v", st)
+	}
+	before := collect(s)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.Garbage != 0 || st.Compactions != 1 {
+		t.Fatalf("after merge: %+v", st)
+	}
+	if got := collect(s); len(got) != len(before) {
+		t.Fatalf("merge changed record count: %d want %d", len(got), len(before))
+	}
+	// The winning value for the contested key (u, 0) is the last round's.
+	if r := s.UserRecords(2); r[0].Cell != 202 {
+		t.Fatalf("user 2 t=0 cell %d after merge, want 202", r[0].Cell)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAuto)
+	defer back.Close()
+	after := collect(back)
+	for k, r := range before {
+		if after[k] != r {
+			t.Fatalf("key %v recovered %+v, want %+v", k, after[k], r)
+		}
+	}
+}
+
+// TestAutoMaintenance: crossing the memtable threshold triggers a
+// background flush, and accumulating runs triggers a background merge,
+// without any explicit call.
+func TestAutoMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MemtableRecords: 32, MaxRuns: 2})
+	defer s.Close()
+	// Pace the writes in rounds, waiting out each flush: a single flush
+	// absorbs everything pending, so runs only accumulate (and a merge
+	// only triggers) when the threshold is crossed repeatedly.
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 40; i++ {
+			s.Insert(rec(i, round, i))
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Stats().Flushes < uint64(round)+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: flush never ran: %+v", round, s.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	st := s.Stats()
+	if st.CompactErr != nil {
+		t.Fatalf("CompactErr: %v", st.CompactErr)
+	}
+	// Four flushes with MaxRuns=2 force at least one merge (runs would
+	// otherwise reach 4), and the merge keeps the run count bounded.
+	if st.Compactions < 1 || st.Runs > 2 {
+		t.Fatalf("merge never bounded the runs: %+v", st)
+	}
+	if s.Len() != rounds*40 {
+		t.Fatalf("Len=%d under maintenance, want %d", s.Len(), rounds*40)
+	}
+}
+
+// TestReopenDifferentShards: the disk layout pins no shard count, so a
+// directory written with one fan-out reopens with any other.
+func TestReopenDifferentShards(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Shards: 1, MemtableRecords: -1, MaxRuns: -1})
+	for i := 0; i < 50; i++ {
+		s.Insert(rec(i, i%5, i))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(rec(99, 0, 1)) // one record in the live log too
+	before := collect(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, Options{Shards: 8, MemtableRecords: -1, MaxRuns: -1})
+	defer back.Close()
+	if back.NumShards() != 8 {
+		t.Fatalf("NumShards=%d, want 8", back.NumShards())
+	}
+	after := collect(back)
+	if len(after) != len(before) {
+		t.Fatalf("recovered %d records, want %d", len(after), len(before))
+	}
+	for k, r := range before {
+		if after[k] != r {
+			t.Fatalf("key %v recovered %+v, want %+v", k, after[k], r)
+		}
+	}
+}
+
+// TestFreshDirAndReopenEmpty: opening a fresh directory writes a
+// MANIFEST and an empty store round-trips.
+func TestFreshDirAndReopenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAuto)
+	if s.Len() != 0 || s.MaxT() != -1 {
+		t.Fatalf("fresh store Len=%d MaxT=%d", s.Len(), s.MaxT())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("no MANIFEST after open: %v", err)
+	}
+	back := mustOpen(t, dir, noAuto)
+	if back.Len() != 0 {
+		t.Fatalf("empty store recovered %d records", back.Len())
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Close returns the sticky error state — nil after a clean
+	// close — rather than re-sealing anything.
+	if err := back.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestFlushFailureRestoresPending: when the run write fails (here: the
+// temp file path is blocked by a directory), the sealed records go back
+// to the memtable head so a retry — not a later flush of newer records —
+// re-covers them. Without that, the MANIFEST could advance past a log
+// that was never turned into a run, and reopen would delete it unreplayed.
+func TestFlushFailureRestoresPending(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, noAuto)
+	for i := 0; i < 10; i++ {
+		s.Insert(rec(i, 0, i))
+	}
+	// Fault injection: the first flush writes run-1 via run-1.sst.tmp;
+	// a directory squatting on that name fails the O_CREATE open.
+	block := filepath.Join(dir, runName(1)+".tmp")
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush succeeded with the temp path blocked")
+	}
+	if st := s.Stats(); st.MemtableRecords != 10 || st.Runs != 0 {
+		t.Fatalf("after failed flush: %+v (sealed records not restored)", st)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("append path poisoned by flush failure: %v", err)
+	}
+	// The store keeps accepting writes, and the retry flushes everything.
+	s.Insert(rec(50, 1, 1))
+	if err := os.Remove(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("retry Flush: %v", err)
+	}
+	if st := s.Stats(); st.MemtableRecords != 0 || st.RunRecords != 11 {
+		t.Fatalf("after retry: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back := mustOpen(t, dir, noAuto)
+	defer back.Close()
+	if back.Len() != 11 {
+		t.Fatalf("recovered %d records, want 11", back.Len())
+	}
+}

@@ -1,0 +1,152 @@
+package lsm
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// The MANIFEST is the authority on which files hold committed data. It
+// is a short text file rewritten atomically (tmp + fsync + rename +
+// directory fsync) at every flush and merge commit:
+//
+//	panda-lsm-manifest v1
+//	flushed <seq>
+//	run <seq> <records>
+//	...
+//	ok <crc32c>
+//
+// Reading it back, three rules make recovery unambiguous:
+//
+//   - Logs with seq <= flushed are fully absorbed into the listed runs
+//     and must be deleted WITHOUT replay: replaying a stale log would
+//     resurrect values a later run has already superseded.
+//   - Run files not listed are uncommitted leftovers of a crashed
+//     flush or merge and are deleted; listed runs must exist and hold
+//     exactly the pinned record count, else the directory is corrupt.
+//   - The trailing "ok" line carries a CRC32-C of everything above it.
+//     The manifest itself is never torn (the atomic write sees to
+//     that), but a truncated or hand-edited manifest would silently
+//     disown committed runs — the checksum turns that into a loud
+//     refusal instead.
+//
+// Unlike the WAL's MANIFEST, nothing here pins a shard count: the lsm
+// layout (one log, global runs) is shard-agnostic, so a directory can
+// be reopened with any memory fan-out.
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+)
+
+// castagnoli is the CRC-32C table the manifest checksum uses — the
+// same polynomial the record codec uses for frames.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// runInfo identifies one committed sorted run: its file sequence and
+// the record count pinned at commit time.
+type runInfo struct {
+	seq     uint64
+	records int
+}
+
+// manifest is the parsed MANIFEST state: the highest absorbed log
+// sequence and the committed runs, oldest first.
+type manifest struct {
+	flushed uint64
+	runs    []runInfo
+}
+
+// hasRun reports whether seq is a committed run.
+func (m manifest) hasRun(seq uint64) bool {
+	for _, ri := range m.runs {
+		if ri.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// readManifest reads dir's MANIFEST. ok is false (with a nil error)
+// when the directory has no MANIFEST — a fresh directory. A malformed,
+// truncated, checksum-failing or future-versioned MANIFEST is an
+// error, as is a MANIFEST that belongs to the WAL backend.
+func readManifest(dir string) (m manifest, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("lsm: reading manifest: %w", err)
+	}
+	malformed := func() (manifest, bool, error) {
+		return manifest{}, false, fmt.Errorf("%w: malformed MANIFEST in %s (restore it from backup; see PERSISTENCE.md)", ErrCorrupt, dir)
+	}
+	content := string(b)
+	if !strings.HasSuffix(content, "\n") {
+		return malformed()
+	}
+	lines := strings.Split(strings.TrimSuffix(content, "\n"), "\n")
+	if len(lines) < 3 {
+		if len(lines) > 0 && strings.HasPrefix(lines[0], "panda-wal-manifest") {
+			return manifest{}, false, fmt.Errorf("lsm: %s is a WAL data dir (its MANIFEST says %q); open it with the wal backend (-backend=wal)", dir, lines[0])
+		}
+		return malformed()
+	}
+	if strings.HasPrefix(lines[0], "panda-wal-manifest") {
+		return manifest{}, false, fmt.Errorf("lsm: %s is a WAL data dir (its MANIFEST says %q); open it with the wal backend (-backend=wal)", dir, lines[0])
+	}
+	var ver int
+	if _, err := fmt.Sscanf(lines[0], "panda-lsm-manifest v%d", &ver); err != nil {
+		return malformed()
+	}
+	if ver != manifestVersion {
+		return manifest{}, false, fmt.Errorf("lsm: manifest version v%d in %s not supported (this build reads v%d)", ver, dir, manifestVersion)
+	}
+
+	// The checksum covers every byte up to the "ok" line.
+	okLine := lines[len(lines)-1]
+	body := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	var sum uint32
+	if n, err := fmt.Sscanf(okLine, "ok %08x", &sum); n != 1 || err != nil || okLine != fmt.Sprintf("ok %08x", sum) {
+		return malformed()
+	}
+	if sum != crc32.Checksum([]byte(body), castagnoli) {
+		return malformed()
+	}
+
+	if _, err := fmt.Sscanf(lines[1], "flushed %d", &m.flushed); err != nil {
+		return malformed()
+	}
+	for _, line := range lines[2 : len(lines)-1] {
+		var ri runInfo
+		if _, err := fmt.Sscanf(line, "run %d %d", &ri.seq, &ri.records); err != nil || ri.records < 0 {
+			return malformed()
+		}
+		if n := len(m.runs); n > 0 && ri.seq <= m.runs[n-1].seq {
+			return malformed()
+		}
+		m.runs = append(m.runs, ri)
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir's MANIFEST. The rename is the
+// commit point of every flush and merge: until it lands, the previous
+// manifest (and the files it lists) stay authoritative.
+func writeManifest(dir string, m manifest) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "panda-lsm-manifest v%d\n", manifestVersion)
+	fmt.Fprintf(&sb, "flushed %d\n", m.flushed)
+	for _, ri := range m.runs {
+		fmt.Fprintf(&sb, "run %d %d\n", ri.seq, ri.records)
+	}
+	fmt.Fprintf(&sb, "ok %08x\n", crc32.Checksum([]byte(sb.String()), castagnoli))
+	if err := storage.WriteFileAtomic(dir, manifestName, []byte(sb.String())); err != nil {
+		return fmt.Errorf("lsm: writing manifest: %w", err)
+	}
+	return nil
+}

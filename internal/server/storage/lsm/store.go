@@ -1,0 +1,884 @@
+// Package lsm is a durable storage.Store shaped like a small LSM tree:
+// an in-memory memtable over the sharded store, one append log for
+// durability, and sorted-run SSTable files keyed by (user, t) in the
+// shared 48-byte record codec. It is the second real backend behind
+// the Store seam (PERSISTENCE.md documents the first, the striped
+// WAL), selected as `panda-server -backend=kv`.
+//
+// Shape of the directory:
+//
+//	MANIFEST                 committed state (flushed seq + run list)
+//	log-<seq>.log            append logs; the highest seq is active
+//	run-<seq>.sst            sorted runs, replayed oldest→newest
+//
+// Every write appends a frame to the active log (the write-ahead step
+// that makes acknowledgements durable) and updates the memtable. When
+// the memtable passes Options.MemtableRecords, a background flush
+// seals the log, sorts and deduplicates its records by (user, t) —
+// replace-on-(user, t) needs no tombstones: the newest record for a
+// key simply wins — and writes them as a new immutable run; when more
+// than Options.MaxRuns runs accumulate, they are k-way merged into
+// one. Reads never touch the files: like the WAL, the full record set
+// lives in the memtable's sharded memory, so Store reads (At,
+// ScanRange, Gen, Epoch, …) are exactly the sharded store's.
+//
+// Where the WAL parallelizes appends across per-shard stripes, the lsm
+// store serializes them on one log and spends its disk budget on
+// sorted immutable runs instead: reopen replays sorted runs + a short
+// log tail rather than every segment, and disk amplification is
+// bounded by the merge schedule instead of per-stripe snapshot
+// garbage. The backend benchmark matrix (bench-backends.txt in CI)
+// quantifies the trade.
+//
+// Locking, in acquisition order (never acquire leftwards):
+//
+//	fsyncMu → mu → (memory shard locks, inside storage.Sharded)
+//
+// mu guards the append path and orders log appends identically to the
+// memtable inserts — replay correctness needs the log to be a
+// linearization of the memory writes. fsyncMu serializes fsync with
+// itself and with log rotation and is deliberately NOT held during
+// appends: writers append+flush under mu, release it, then group
+// commit under fsyncMu exactly like a WAL stripe. flushMu serializes
+// flush and merge with each other (the background maintainer and the
+// exported Flush/Compact).
+package lsm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/pglp/panda/internal/server/storage"
+)
+
+// Sync selects when appends reach stable storage; the zero value is
+// SyncBuffered.
+type Sync int
+
+const (
+	// SyncBuffered flushes appends to the OS on every write but leaves
+	// fsync to flush, rotation, Sync and Close. A process crash loses
+	// nothing; an OS crash or power cut may lose a suffix of
+	// acknowledged writes.
+	SyncBuffered Sync = iota
+	// SyncAlways fsyncs before acknowledging a write (group commit:
+	// concurrent writers share one fsync). An acknowledged write
+	// survives power loss.
+	SyncAlways
+)
+
+// Defaults for Options zero values.
+const (
+	defaultMemtableRecords = 8192
+	defaultMaxRuns         = 4
+)
+
+// Options configure Open.
+type Options struct {
+	// Shards is the memory fan-out (storage.NewSharded). Unlike the
+	// WAL's stripe count it is NOT pinned on disk — the lsm layout is
+	// shard-agnostic — so a directory can be reopened with any value.
+	// Values < 1 mean 1.
+	Shards int
+	// Sync selects the durability policy; see the Sync constants.
+	Sync Sync
+	// MemtableRecords is the flush threshold: when at least this many
+	// records sit in the active log(s), the background maintainer
+	// seals them into a sorted run. 0 means the default (8192);
+	// negative disables automatic flushing (tests use this and call
+	// Flush explicitly).
+	MemtableRecords int
+	// MaxRuns is the merge trigger: when more than this many runs
+	// exist after a flush, they are merged into one. 0 means the
+	// default (4); negative disables automatic merging.
+	MaxRuns int
+}
+
+// Stats is a point-in-time observation of the store's disk state.
+type Stats struct {
+	LiveRecords     int    // records in memory (== storage.Store.Len)
+	MemtableRecords int    // records in live logs awaiting flush (incl. superseded)
+	Runs            int    // committed sorted runs
+	RunRecords      int    // records across committed runs
+	Garbage         int    // superseded records still occupying disk (runs + logs)
+	ActiveLog       uint64 // sequence of the log currently appended to
+	Flushes         uint64 // memtable flushes since Open
+	Compactions     uint64 // run merges since Open
+	TornTail        bool   // whether Open truncated a torn final record
+	CompactErr      error  // latest background flush/merge failure, nil once recovered
+}
+
+// errClosed reports use of a closed store.
+var errClosed = errors.New("lsm: store closed")
+
+// Store is a durable storage.Store; see the package comment for the
+// design. The zero value is not usable — call Open.
+//
+// Crash-safety contract, in terms of what survives where:
+//
+//   - After Insert/InsertBatch returns under SyncAlways, the records
+//     are on stable storage (the log was fsynced) and a crash or
+//     power cut replays them. Under SyncBuffered they are in the OS
+//     page cache: a process crash keeps them, a power cut may drop a
+//     suffix.
+//   - A batch is appended as consecutive log frames; a crash may
+//     durably keep a prefix of them (partial-batch semantics, the
+//     same contract as the WAL). Batch atomicity is a property of the
+//     in-memory view — the grouped memtable insert — never of crash
+//     recovery.
+//   - After Sync returns nil, everything appended so far is durable.
+//   - After Close returns nil, everything is durable and the
+//     directory may be reopened.
+//   - Flush and merge commits are atomic (run write + MANIFEST
+//     rename); a crash at any byte leaves either the old state or the
+//     new state authoritative, never a blend.
+//
+// The storage.Store interface has no error returns, so append
+// failures (disk full, I/O errors) cannot surface per-write: the
+// store records its first such error, keeps serving memory, and
+// reports it from Err, Sync and Close. Background flush/merge
+// failures are retried and reported from CompactErr; they never void
+// acknowledged durability — the log simply keeps growing.
+type Store struct {
+	dir  string
+	opts Options
+	mem  *storage.Sharded
+
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	buf         []byte           // append scratch, under mu
+	logSeq      uint64           // active log sequence
+	flushedSeq  uint64           // logs <= flushedSeq are absorbed into runs
+	pending     []storage.Record // memtable mirror of the live logs, append order
+	runs        []runInfo        // committed runs, oldest first (mirror of MANIFEST)
+	nextRun     uint64           // next run sequence to allocate
+	appends     uint64           // append calls flushed to the OS, monotone
+	err         error            // first append/sync failure, sticky
+	closed      bool
+	tornTail    bool   // Open truncated a torn final record
+	flushes     uint64 // completed memtable flushes
+	compactions uint64 // completed run merges
+	compactErr  error  // latest background flush/merge failure
+
+	fsyncMu sync.Mutex
+	synced  uint64 // appends covered by the last fsync; under fsyncMu
+
+	// flushMu serializes flush and merge with each other; it is never
+	// held while mu-protected appends are blocked for longer than a
+	// log rotation.
+	flushMu sync.Mutex
+
+	kick chan struct{} // nudges the maintainer; buffered, size 1
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Open creates or recovers an lsm store in dir. Existing state is
+// replayed into memory: committed runs oldest→newest (each verified
+// against the record count its MANIFEST entry pinned), then live logs
+// in sequence order. A torn final record in the newest log is
+// truncated away; damage anywhere else returns an error wrapping
+// ErrCorrupt. Uncommitted leftovers of a crashed flush or merge
+// (unlisted run files, logs already absorbed into runs, *.tmp files)
+// are deleted. A directory laid out by the WAL backend is refused
+// with a clear error — nothing is modified in that case.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.MemtableRecords == 0 {
+		opts.MemtableRecords = defaultMemtableRecords
+	}
+	if opts.MaxRuns == 0 {
+		opts.MaxRuns = defaultMaxRuns
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		mem:  storage.NewSharded(opts.Shards),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if opts.MemtableRecords > 0 || opts.MaxRuns > 0 {
+		s.wg.Add(1)
+		go s.maintainLoop()
+	}
+	return s, nil
+}
+
+// recover loads the directory into memory and opens the active log.
+// Single-threaded: only Open calls it, before any writer exists.
+func (s *Store) recover() error {
+	m, ok, err := readManifest(s.dir)
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	var logSeqs, runSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Leftover of an atomic write that crashed before rename;
+			// never referenced, safe to discard.
+			_ = os.Remove(filepath.Join(s.dir, name))
+		case e.IsDir() && strings.HasPrefix(name, "stripe-"):
+			return fmt.Errorf("lsm: %s is a WAL data dir (stripe directories present); open it with the wal backend (-backend=wal)", s.dir)
+		case name == "snapshot.dat" || (strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log")):
+			return fmt.Errorf("lsm: %s is a legacy WAL data dir (%s present); open it with the wal backend (-backend=wal)", s.dir, name)
+		default:
+			if seq, isLog := parseLogName(name); isLog {
+				logSeqs = append(logSeqs, seq)
+			} else if seq, isRun := parseRunName(name); isRun {
+				runSeqs = append(runSeqs, seq)
+			}
+		}
+	}
+	if !ok {
+		if len(logSeqs) > 0 || len(runSeqs) > 0 {
+			// Laying a fresh MANIFEST over existing files would guess at
+			// which are committed; refusing is the only safe move.
+			return fmt.Errorf("%w: %s has log/run files but no MANIFEST; restore the MANIFEST or recover from backup — see PERSISTENCE.md", ErrCorrupt, s.dir)
+		}
+		if err := writeManifest(s.dir, manifest{}); err != nil {
+			return err
+		}
+	}
+
+	// Uncommitted runs: leftovers of a flush/merge that crashed before
+	// its MANIFEST rename. Their contents are still fully covered by
+	// the files the MANIFEST does list.
+	runsPresent := make(map[uint64]bool, len(runSeqs))
+	for _, seq := range runSeqs {
+		runsPresent[seq] = true
+		if !m.hasRun(seq) {
+			if err := os.Remove(filepath.Join(s.dir, runName(seq))); err != nil {
+				return fmt.Errorf("lsm: removing uncommitted run: %w", err)
+			}
+		}
+	}
+	for _, ri := range m.runs {
+		if !runsPresent[ri.seq] {
+			return fmt.Errorf("%w: MANIFEST lists run %d but %s is missing", ErrCorrupt, ri.seq, runName(ri.seq))
+		}
+	}
+	// Stale logs (seq <= flushed) are fully absorbed into runs and
+	// must NOT be replayed: a merge may have collapsed newer values
+	// over theirs, and replaying them would resurrect the old ones.
+	var liveLogs []uint64
+	for _, seq := range logSeqs {
+		if seq <= m.flushed {
+			if err := os.Remove(filepath.Join(s.dir, logName(seq))); err != nil {
+				return fmt.Errorf("lsm: removing absorbed log: %w", err)
+			}
+		} else {
+			liveLogs = append(liveLogs, seq)
+		}
+	}
+	sortSeqs(liveLogs)
+	if err := storage.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+
+	for _, ri := range m.runs {
+		if err := replayRun(filepath.Join(s.dir, runName(ri.seq)), ri.records, func(rec storage.Record) {
+			s.mem.Insert(rec)
+		}); err != nil {
+			return err
+		}
+	}
+	replayInsert := func(rec storage.Record) {
+		s.mem.Insert(rec)
+		s.pending = append(s.pending, rec)
+	}
+	for i, seq := range liveLogs {
+		path := filepath.Join(s.dir, logName(seq))
+		validEnd, err := replayLog(path, replayInsert)
+		switch {
+		case err == nil:
+		case err == errTorn && i == len(liveLogs)-1:
+			// Torn tail of a crashed append: keep everything before it,
+			// truncate the rest so appends resume from a clean frame
+			// boundary. A zero-length or headerless file truncates to
+			// empty and the header is rewritten by openLogLocked.
+			if err := os.Truncate(path, validEnd); err != nil {
+				return fmt.Errorf("lsm: truncating torn tail: %w", err)
+			}
+			s.tornTail = true
+		case err == errTorn:
+			return fmt.Errorf("%w: log %s", ErrCorrupt, path)
+		default:
+			return fmt.Errorf("lsm: replaying %s: %w", path, err)
+		}
+	}
+
+	s.flushedSeq = m.flushed
+	s.runs = m.runs
+	s.nextRun = 1
+	if n := len(m.runs); n > 0 {
+		s.nextRun = m.runs[n-1].seq + 1
+	}
+	s.logSeq = m.flushed + 1
+	if n := len(liveLogs); n > 0 {
+		s.logSeq = liveLogs[n-1]
+	}
+	return s.openLogLocked(s.logSeq)
+}
+
+// openLogLocked opens log seq for appending, writing the file header
+// if the file is new (or was truncated to empty). Callers hold s.mu
+// (or are the single-threaded recovery). Like the WAL's segment open,
+// the header is flushed but deliberately not fsynced here: a
+// headerless file can only ever be the newest log — flush seals
+// (fsyncs) the old log before creating the next one — and recovery
+// truncates a headerless newest log to empty.
+func (s *Store) openLogLocked(seq uint64) error {
+	path := filepath.Join(s.dir, logName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if fi.Size() == 0 {
+		if _, err := w.Write(fileHeader(logMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("lsm: %w", err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("lsm: %w", err)
+		}
+	}
+	s.f, s.w = f, w
+	return nil
+}
+
+// NumShards returns the memory shard count — the partition fan-out a
+// drain layer should pin its workers to. Purely a memory property
+// here: the disk layout is shard-agnostic.
+func (s *Store) NumShards() int { return s.mem.NumShards() }
+
+// appendLocked frames recs into the active log and flushes them to
+// the OS, returning the append position to hand syncTo for a durable
+// acknowledgement. Failures are sticky: the first one is kept and
+// every later append degrades to memory-only (reported by
+// Err/Sync/Close). Callers hold s.mu.
+func (s *Store) appendLocked(recs ...storage.Record) uint64 {
+	if s.err != nil || s.closed {
+		return s.appends
+	}
+	s.buf = s.buf[:0]
+	for _, rec := range recs {
+		s.buf = storage.AppendFrame(s.buf, rec)
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = fmt.Errorf("lsm: append: %w", err)
+		return s.appends
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("lsm: append: %w", err)
+		return s.appends
+	}
+	s.appends++
+	return s.appends
+}
+
+// syncTo makes every append up to position n durable — the group
+// commit point, identical in shape to a WAL stripe's: whichever
+// writer reaches fsyncMu first issues one fsync covering every append
+// flushed so far, and the writers queued behind it observe synced >=
+// their position and return without touching the disk.
+func (s *Store) syncTo(n uint64) error {
+	s.fsyncMu.Lock()
+	defer s.fsyncMu.Unlock()
+	s.mu.Lock()
+	err, closed := s.err, s.closed
+	f, m := s.f, s.appends
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.synced >= n {
+		return nil
+	}
+	if closed {
+		return errClosed
+	}
+	if serr := f.Sync(); serr != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = fmt.Errorf("lsm: fsync: %w", serr)
+		}
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.synced = m
+	return nil
+}
+
+// maybeKickLocked nudges the maintainer when the memtable passes the
+// flush threshold or the run count passes the merge trigger. Callers
+// hold s.mu.
+func (s *Store) maybeKickLocked() {
+	needFlush := s.opts.MemtableRecords > 0 && len(s.pending) >= s.opts.MemtableRecords
+	needMerge := s.opts.MaxRuns > 0 && len(s.runs) > s.opts.MaxRuns
+	if !needFlush && !needMerge {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Insert appends the record to the log, then stores it in the
+// memtable. Under SyncAlways it returns only after the log is fsynced
+// (sharing the fsync with concurrent writers). It implements
+// storage.Store.
+func (s *Store) Insert(rec storage.Record) bool {
+	s.mu.Lock()
+	n := s.appendLocked(rec)
+	added := s.mem.Insert(rec)
+	s.pending = append(s.pending, rec)
+	s.maybeKickLocked()
+	s.mu.Unlock()
+	if s.opts.Sync == SyncAlways {
+		s.syncTo(n)
+	}
+	return added
+}
+
+// InsertBatch appends the batch as consecutive log frames (one flush),
+// then stores it in memory atomically: the memtable apply locks every
+// involved shard before inserting anything, so a concurrent Scan sees
+// the whole batch or none of it. Under SyncAlways it fsyncs before
+// returning. Note that crash recovery is per-record, not per-batch:
+// see the partial-batch semantics on Store.
+func (s *Store) InsertBatch(recs []storage.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	n := s.appendLocked(recs...)
+	added := s.mem.InsertBatch(recs)
+	s.pending = append(s.pending, recs...)
+	s.maybeKickLocked()
+	s.mu.Unlock()
+	if s.opts.Sync == SyncAlways {
+		s.syncTo(n)
+	}
+	return added
+}
+
+// Len reports the stored record count; reads are served from the
+// hydrated in-memory store, never the files.
+func (s *Store) Len() int { return s.mem.Len() }
+
+// MaxT reports the largest stored timestep (-1 if empty), from memory.
+func (s *Store) MaxT() int { return s.mem.MaxT() }
+
+// UserRecords returns one user's records in ascending T, from memory.
+func (s *Store) UserRecords(user int) []storage.Record { return s.mem.UserRecords(user) }
+
+// UserRecordsAfter returns up to limit records with T > afterT, from
+// memory.
+func (s *Store) UserRecordsAfter(user, afterT, limit int) []storage.Record {
+	return s.mem.UserRecordsAfter(user, afterT, limit)
+}
+
+// Users returns the IDs with at least one record, ascending, from
+// memory.
+func (s *Store) Users() []int { return s.mem.Users() }
+
+// At returns every user's record at timestep t, from memory.
+func (s *Store) At(t int) []storage.Record { return s.mem.At(t) }
+
+// Scan visits every record in a consistent point-in-time view, from
+// memory; a concurrent InsertBatch is never half-visible.
+func (s *Store) Scan(fn func(storage.Record) bool) { s.mem.Scan(fn) }
+
+// ScanRange visits records with t0 <= T <= t1 in ascending T, from
+// memory, with the same consistency as Scan.
+func (s *Store) ScanRange(t0, t1 int, fn func(storage.Record) bool) {
+	s.mem.ScanRange(t0, t1, fn)
+}
+
+// Gen returns timestep t's write generation, from memory. Like the
+// WAL's, generations are process state: a restart replays records
+// (rebuilding nonzero generations) but does not reproduce the
+// previous process's counts — fine, because the caches they version
+// are per-process too.
+func (s *Store) Gen(t int) uint64 { return s.mem.Gen(t) }
+
+// Epoch returns the global write generation, from memory; see Gen for
+// the restart semantics.
+func (s *Store) Epoch() uint64 { return s.mem.Epoch() }
+
+// Err returns the first append or sync failure, if any. Once non-nil
+// the log has stopped growing and only memory is being updated —
+// durability is lost, and callers that require it should fail-stop
+// (cmd/panda-server shuts down when this trips). Background
+// flush/merge failures are reported separately (CompactErr): they
+// leave the append path intact.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CompactErr returns the latest background flush/merge failure, nil
+// once the last maintenance cycle succeeded. Maintenance failures are
+// retried on the next trigger and never void acknowledged
+// durability — the log keeps growing until the cause clears.
+func (s *Store) CompactErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactErr
+}
+
+// Sync flushes buffered appends to stable storage (a barrier for
+// SyncBuffered mode: after a nil return, everything appended before
+// the call survives power failure) and reports the first sticky
+// append failure.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	n := s.appends
+	s.mu.Unlock()
+	return s.syncTo(n)
+}
+
+// Stats returns a point-in-time observation of the store. Fields are
+// sampled under the append mutex but concurrent maintenance may skew
+// them — fine for monitoring, not a consistency point.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		LiveRecords:     s.mem.Len(),
+		MemtableRecords: len(s.pending),
+		Runs:            len(s.runs),
+		ActiveLog:       s.logSeq,
+		Flushes:         s.flushes,
+		Compactions:     s.compactions,
+		TornTail:        s.tornTail,
+		CompactErr:      s.compactErr,
+	}
+	for _, ri := range s.runs {
+		out.RunRecords += ri.records
+	}
+	// Every live record is on disk at least once; everything beyond
+	// that — intra-log duplicates, keys superseded across runs — is
+	// garbage a flush or merge will reclaim.
+	out.Garbage = out.RunRecords + out.MemtableRecords - out.LiveRecords
+	return out
+}
+
+// maintainLoop runs flushes and merges when kicked, until Close. A
+// failed cycle is recorded as compactErr (visible in Stats and, if
+// never recovered, from Close) but does not stop the append path: the
+// log keeps growing and the next threshold crossing retries.
+func (s *Store) maintainLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+		}
+		s.maintain()
+	}
+}
+
+// maintain runs one maintenance cycle: flush if the memtable is over
+// threshold, then merge if the run count is over trigger.
+func (s *Store) maintain() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	var cycleErr error
+	if s.opts.MemtableRecords > 0 {
+		s.mu.Lock()
+		full := len(s.pending) >= s.opts.MemtableRecords
+		s.mu.Unlock()
+		if full {
+			cycleErr = s.flush()
+		}
+	}
+	if cycleErr == nil && s.opts.MaxRuns > 0 {
+		s.mu.Lock()
+		over := len(s.runs) > s.opts.MaxRuns
+		s.mu.Unlock()
+		if over {
+			cycleErr = s.merge()
+		}
+	}
+	s.mu.Lock()
+	s.compactErr = cycleErr
+	s.mu.Unlock()
+}
+
+// Flush seals the memtable into a new sorted run: rotate the active
+// log, sort+dedupe its records, write them as an immutable run, commit
+// the MANIFEST, delete the absorbed logs. Appends are blocked only for
+// the rotation, not for the sort or the run write. Exported for tests
+// and operational tooling; the background maintainer calls the same
+// path when the memtable passes Options.MemtableRecords.
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flush()
+}
+
+// flush is Flush without the flushMu acquisition. Callers hold
+// flushMu.
+//
+// Crash-safety, step by step (PERSISTENCE.md spells out the same
+// argument for operators):
+//
+//  1. Rotation seals the active log (flush + fsync + close) under
+//     fsyncMu+mu and swings appends to a fresh log, so the sealed
+//     records are exactly a prefix of the log order and nothing can
+//     append to the sealed file afterwards.
+//  2. The run is written to a temp file and renamed into place — a
+//     crash before the MANIFEST commit leaves an unlisted run file
+//     that the next Open deletes; the sealed logs are still live and
+//     replay every record.
+//  3. The MANIFEST rename is the commit point: it lists the new run
+//     and advances flushed to the sealed sequence in one atomic step.
+//  4. The absorbed logs are deleted. A crash mid-deletion leaves logs
+//     with seq <= flushed, which the next Open deletes without
+//     replay.
+//
+// On a non-crash failure (step 2 or 3 errors out), the sealed records
+// are put back at the head of the memtable so the next flush retries
+// them — without that, a later flush could advance the MANIFEST past
+// the sealed log and the next Open would delete it unreplayed.
+func (s *Store) flush() error {
+	s.fsyncMu.Lock()
+	s.mu.Lock()
+	unlock := func() { s.mu.Unlock(); s.fsyncMu.Unlock() }
+	if s.closed {
+		unlock()
+		return errClosed
+	}
+	if s.err != nil {
+		// The log is missing appends; building a run from memory state
+		// could commit records the log never saw. Keep the door shut.
+		err := s.err
+		unlock()
+		return err
+	}
+	if len(s.pending) == 0 {
+		unlock()
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = fmt.Errorf("lsm: flush: %w", err)
+		err = s.err
+		unlock()
+		return err
+	}
+	//panda:allow fsynclock — rotation seals the active log: fsyncMu is already held, writers queue behind the swap by design, and the fsync doubles as their group commit
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("lsm: fsync: %w", err)
+		err = s.err
+		unlock()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		s.err = fmt.Errorf("lsm: close: %w", err)
+		err = s.err
+		unlock()
+		return err
+	}
+	sealedSeq := s.logSeq
+	oldFlushed := s.flushedSeq
+	recs := s.pending
+	s.pending = nil
+	s.logSeq++
+	if err := s.openLogLocked(s.logSeq); err != nil {
+		s.err = err
+		unlock()
+		return err
+	}
+	// Everything appended so far just hit stable storage.
+	s.synced = s.appends
+	runSeq := s.nextRun
+	s.nextRun++
+	oldRuns := append([]runInfo(nil), s.runs...)
+	unlock()
+
+	// restore puts the sealed records back at the memtable's head
+	// after a failure, preserving append order relative to records
+	// appended since the rotation.
+	restore := func(recs []storage.Record) {
+		s.mu.Lock()
+		s.pending = append(recs, s.pending...)
+		s.mu.Unlock()
+	}
+
+	recs = sortDedupe(recs)
+	if err := writeRun(s.dir, runName(runSeq), recs); err != nil {
+		restore(recs)
+		return err
+	}
+	newRuns := append(oldRuns, runInfo{seq: runSeq, records: len(recs)})
+	if err := writeManifest(s.dir, manifest{flushed: sealedSeq, runs: newRuns}); err != nil {
+		_ = os.Remove(filepath.Join(s.dir, runName(runSeq)))
+		restore(recs)
+		return err
+	}
+	// Committed. The absorbed logs are dead weight from here on.
+	for seq := oldFlushed + 1; seq <= sealedSeq; seq++ {
+		if err := os.Remove(filepath.Join(s.dir, logName(seq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("lsm: removing absorbed log: %w", err)
+		}
+	}
+	if err := storage.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("lsm: flush: %w", err)
+	}
+
+	s.mu.Lock()
+	s.runs = newRuns
+	s.flushedSeq = sealedSeq
+	s.flushes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Compact flushes the memtable and merges every committed run into
+// one. Exported for tests and operational tooling; the background
+// maintainer merges on the same path when more than Options.MaxRuns
+// runs accumulate.
+func (s *Store) Compact() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if err := s.flush(); err != nil {
+		return err
+	}
+	return s.merge()
+}
+
+// merge k-way merges every committed run into one and commits the
+// swap. Callers hold flushMu (which is what keeps s.runs and
+// s.flushedSeq stable between the two mu critical sections). Appends
+// are never blocked: merging reads immutable files and the commit is
+// a MANIFEST rename.
+func (s *Store) merge() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	runs := append([]runInfo(nil), s.runs...)
+	flushed := s.flushedSeq
+	if len(runs) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	mergedSeq := s.nextRun
+	s.nextRun++
+	s.mu.Unlock()
+
+	count, err := mergeRuns(s.dir, runs, mergedSeq)
+	if err != nil {
+		return err
+	}
+	merged := []runInfo{{seq: mergedSeq, records: count}}
+	if err := writeManifest(s.dir, manifest{flushed: flushed, runs: merged}); err != nil {
+		_ = os.Remove(filepath.Join(s.dir, runName(mergedSeq)))
+		return err
+	}
+	for _, ri := range runs {
+		if err := os.Remove(filepath.Join(s.dir, runName(ri.seq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("lsm: removing merged run: %w", err)
+		}
+	}
+	if err := storage.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("lsm: merge: %w", err)
+	}
+
+	s.mu.Lock()
+	s.runs = merged
+	s.compactions++
+	s.mu.Unlock()
+	return nil
+}
+
+// Close stops the maintainer, then flushes, fsyncs and closes the
+// active log. After a nil return the full store contents are durable
+// and the directory may be reopened. The store must not be used
+// afterwards; a second Close returns the sticky error state. An
+// unrecovered background flush/merge failure is surfaced here if no
+// harder error precedes it — the data itself is safe (the log kept
+// growing).
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+
+	s.fsyncMu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		err := s.err
+		s.mu.Unlock()
+		s.fsyncMu.Unlock()
+		return err
+	}
+	s.closed = true
+	if flushErr := s.w.Flush(); flushErr != nil && s.err == nil {
+		s.err = fmt.Errorf("lsm: flush: %w", flushErr)
+	}
+	f := s.f
+	s.mu.Unlock()
+
+	var sealErr error
+	if syncErr := f.Sync(); syncErr != nil {
+		sealErr = fmt.Errorf("lsm: fsync: %w", syncErr)
+	}
+	if closeErr := f.Close(); closeErr != nil && sealErr == nil {
+		sealErr = fmt.Errorf("lsm: close: %w", closeErr)
+	}
+	s.fsyncMu.Unlock()
+
+	s.mu.Lock()
+	if sealErr != nil && s.err == nil {
+		s.err = sealErr
+	}
+	err := s.err
+	if err == nil {
+		err = s.compactErr
+	}
+	s.mu.Unlock()
+	return err
+}

@@ -1,0 +1,31 @@
+package wal_test
+
+import (
+	"testing"
+
+	"github.com/pglp/panda/internal/server/storage"
+	"github.com/pglp/panda/internal/server/storage/storagetest"
+	"github.com/pglp/panda/internal/server/storage/wal"
+)
+
+// The WAL passes the shared Store conformance battery (storagetest) —
+// durability must never change Store semantics. Compaction thresholds
+// are lowered so the battery's write volume also exercises background
+// compaction racing the readers.
+func TestWALConformance(t *testing.T) {
+	storagetest.TestStore(t, func(t *testing.T) storage.Store {
+		s, err := wal.Open(t.TempDir(), wal.Options{
+			Shards:            4,
+			CompactMinGarbage: 64,
+		})
+		if err != nil {
+			t.Fatalf("wal.Open: %v", err)
+		}
+		t.Cleanup(func() {
+			if err := s.Close(); err != nil {
+				t.Errorf("wal.Close: %v", err)
+			}
+		})
+		return s
+	})
+}

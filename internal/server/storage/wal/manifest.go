@@ -51,6 +51,9 @@ func Manifest(dir string) (stripes int, ok bool, err error) {
 		return 0, false, fmt.Errorf("wal: reading manifest: %w", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "panda-lsm-manifest") {
+		return 0, false, fmt.Errorf("wal: %s is an LSM (kv) data dir (its MANIFEST says %q); open it with the kv backend (-backend=kv)", dir, lines[0])
+	}
 	if len(lines) != 2 {
 		return 0, false, fmt.Errorf("wal: malformed manifest in %s", dir)
 	}

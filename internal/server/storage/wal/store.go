@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"github.com/pglp/panda/internal/server/storage"
@@ -205,6 +206,13 @@ func Open(dir string, opts Options) (*Store, error) {
 			if _, serr := fmt.Sscanf(e.Name(), "stripe-%d", &i); serr == nil && e.IsDir() {
 				return nil, fmt.Errorf("wal: %s has stripe directories but no MANIFEST; restore the MANIFEST (two lines: %q, %q) or recover from backup — see PERSISTENCE.md",
 					dir, fmt.Sprintf("panda-wal-manifest v%d", manifestVersion), "stripes <N>")
+			}
+			// LSM-layout files (even with their MANIFEST lost) must not
+			// be buried under a fresh WAL layout.
+			name := e.Name()
+			if (strings.HasPrefix(name, "log-") && strings.HasSuffix(name, ".log")) ||
+				(strings.HasPrefix(name, "run-") && strings.HasSuffix(name, ".sst")) {
+				return nil, fmt.Errorf("wal: %s holds LSM (kv) backend files (%s); open it with the kv backend (-backend=kv)", dir, name)
 			}
 		}
 		if err := writeManifest(dir, stripes); err != nil {
@@ -415,6 +423,23 @@ func (s *Store) Err() error {
 	for _, st := range s.stripes {
 		st.mu.Lock()
 		err := st.err
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactErr returns the first stripe's unrecovered background-
+// compaction failure, nil once all stripes' last compactions
+// succeeded. Compaction failures are retried and never void
+// acknowledged durability — the logs keep growing until the cause
+// clears. It is the storage.Durable accessor for Stats().CompactErr.
+func (s *Store) CompactErr() error {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		err := st.compactErr
 		st.mu.Unlock()
 		if err != nil {
 			return err

@@ -40,7 +40,8 @@ import (
 	"github.com/pglp/panda/internal/policygraph"
 	"github.com/pglp/panda/internal/server"
 	"github.com/pglp/panda/internal/server/ingest"
-	"github.com/pglp/panda/internal/server/storage/wal"
+	"github.com/pglp/panda/internal/server/storage"
+	"github.com/pglp/panda/internal/server/storage/backend"
 )
 
 // MechanismKind selects a PGLP release mechanism family.
@@ -105,6 +106,16 @@ type Options struct {
 	// Call Close when done with the system. Empty keeps the store
 	// memory-only.
 	DataDir string
+	// Backend selects the durable store implementation for DataDir:
+	// "wal" (or empty) is the striped write-ahead log described above;
+	// "kv" (alias "lsm") is the LSM-style embedded store — one append
+	// log plus sorted-run SSTables, shard-agnostic on disk (StoreShards
+	// is not pinned, unlike the WAL's stripe count). A directory laid
+	// out by one backend is refused by the other with an error naming
+	// the right one. PERSISTENCE.md compares the two. Setting Backend
+	// without DataDir is an error: the field only means something for a
+	// durable store.
+	Backend string
 	// FsyncEveryWrite, with DataDir set, fsyncs the log before every
 	// insert returns so acknowledged reports survive power failure.
 	// Concurrent writers on one stripe share fsyncs (group commit) and
@@ -138,7 +149,7 @@ type System struct {
 	mgr       *policy.Manager
 	db        *server.DB
 	srv       *server.Server
-	store     *wal.Store // nil unless Options.DataDir was set
+	store     storage.Durable // nil unless Options.DataDir was set
 	eps       float64
 	winSteps  int
 	winBudget float64
@@ -161,22 +172,24 @@ func NewSystem(o Options) (*System, error) {
 	if (o.WindowSteps > 0) != (o.WindowEpsilon > 0) {
 		return nil, fmt.Errorf("panda: WindowSteps and WindowEpsilon must be set together")
 	}
+	if o.Backend != "" && o.DataDir == "" {
+		return nil, fmt.Errorf("panda: Backend %q set without DataDir (a backend only means something for a durable store)", o.Backend)
+	}
 	var (
-		db       *server.DB
-		walStore *wal.Store
+		db    *server.DB
+		store storage.Durable
 	)
 	if o.DataDir != "" {
-		sync := wal.SyncBuffered
-		if o.FsyncEveryWrite {
-			sync = wal.SyncAlways
-		}
-		walStore, err = wal.Open(o.DataDir, wal.Options{Shards: o.StoreShards, Sync: sync})
+		store, err = backend.Open(o.Backend, o.DataDir, backend.Options{
+			Shards:         o.StoreShards,
+			SyncEveryWrite: o.FsyncEveryWrite,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("panda: opening data dir: %w", err)
 		}
-		db, err = server.NewDBOn(grid, walStore)
+		db, err = server.NewDBOn(grid, store)
 		if err != nil {
-			walStore.Close()
+			store.Close()
 			return nil, err
 		}
 	} else {
@@ -188,13 +201,13 @@ func NewSystem(o Options) (*System, error) {
 		IngestQueueDepth: o.IngestQueueDepth,
 	})
 	if err != nil {
-		if walStore != nil {
-			walStore.Close()
+		if store != nil {
+			store.Close()
 		}
 		return nil, err
 	}
 	return &System{
-		grid: grid, mgr: mgr, db: db, srv: srv, store: walStore, eps: o.Epsilon,
+		grid: grid, mgr: mgr, db: db, srv: srv, store: store, eps: o.Epsilon,
 		winSteps: o.WindowSteps, winBudget: o.WindowEpsilon,
 	}, nil
 }

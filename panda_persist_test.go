@@ -1,20 +1,32 @@
 package panda
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // TestSystemDataDirRestart: a System built with Options.DataDir writes
-// every release through the WAL, and a new System on the same directory
-// serves the same records and analytics — the facade-level durability
-// contract.
+// every release through the durable store, and a new System on the same
+// directory serves the same records and analytics — the facade-level
+// durability contract, for every backend × sync policy.
 func TestSystemDataDirRestart(t *testing.T) {
-	for _, fsync := range []bool{false, true} {
+	for _, bk := range []string{"wal", "kv"} {
+		for _, fsync := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/fsync=%v", bk, fsync), func(t *testing.T) {
+				testSystemDataDirRestart(t, bk, fsync)
+			})
+		}
+	}
+}
+
+func testSystemDataDirRestart(t *testing.T, bk string, fsync bool) {
+	{
 		dir := t.TempDir()
 		opts := Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 2,
-			DataDir: dir, FsyncEveryWrite: fsync, StoreShards: 4}
+			DataDir: dir, Backend: bk, FsyncEveryWrite: fsync, StoreShards: 4}
 		sys, err := NewSystem(opts)
 		if err != nil {
 			t.Fatal(err)
@@ -138,6 +150,66 @@ func TestSystemLegacyDataDirMigration(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "snapshot.dat")); err == nil {
 		t.Fatal("legacy snapshot still in the root after migration")
+	}
+}
+
+// TestSystemBackendValidation: Backend set without DataDir, or set to
+// an unknown name, is refused before anything touches the disk.
+func TestSystemBackendValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Rows: 4, Cols: 4, CellSize: 1, Epsilon: 1, Backend: "kv"}); err == nil {
+		t.Error("Backend without DataDir accepted")
+	}
+	if _, err := NewSystem(Options{Rows: 4, Cols: 4, CellSize: 1, Epsilon: 1,
+		DataDir: t.TempDir(), Backend: "bolt"}); err == nil || !strings.Contains(err.Error(), `unknown backend "bolt"`) {
+		t.Errorf("unknown backend: err = %v, want unknown-backend error", err)
+	}
+}
+
+// TestSystemBackendMismatch: a directory laid out by one backend is
+// refused by the other, through the facade, with an error naming the
+// backend that can open it — and the refusal modifies nothing.
+func TestSystemBackendMismatch(t *testing.T) {
+	lay := func(bk string) (string, Options) {
+		t.Helper()
+		opts := Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 2, DataDir: t.TempDir(), Backend: bk}
+		sys, err := NewSystem(opts)
+		if err != nil {
+			t.Fatalf("laying out %s dir: %v", bk, err)
+		}
+		u, err := sys.NewUser(1, GEM, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.Report(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return opts.DataDir, opts
+	}
+
+	walDir, _ := lay("wal")
+	if _, err := NewSystem(Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 2,
+		DataDir: walDir, Backend: "kv"}); err == nil || !strings.Contains(err.Error(), "-backend=wal") {
+		t.Errorf("kv on wal dir: err = %v, want refusal naming -backend=wal", err)
+	}
+
+	kvDir, kvOpts := lay("kv")
+	if _, err := NewSystem(Options{Rows: 8, Cols: 8, CellSize: 1, Epsilon: 2,
+		DataDir: kvDir, Backend: "wal"}); err == nil || !strings.Contains(err.Error(), "-backend=kv") {
+		t.Errorf("wal on kv dir: err = %v, want refusal naming -backend=kv", err)
+	}
+	// The refused kv dir still opens cleanly with its own backend.
+	back, err := NewSystem(kvOpts)
+	if err != nil {
+		t.Fatalf("kv dir damaged by wal refusal: %v", err)
+	}
+	if got := back.Records(1); len(got) != 1 {
+		t.Errorf("kv dir lost records after refusal: %d, want 1", len(got))
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
